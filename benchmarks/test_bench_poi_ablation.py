@@ -1,0 +1,110 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. POI-extraction thresholds (roam distance x dwell gate) — attack
+   strength is threshold-sensitive; the defaults sit on the plateau.
+2. Speed-smoothing resampling variant — chord vs curvilinear; the naive
+   curvilinear variant leaks stops through GPS-jitter path length.
+3. Attacker denoising window — why auditing against a denoising attacker
+   is necessary (recall vs window under geo-indistinguishability).
+"""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from repro.privacy import (
+    GeoIndistinguishabilityMechanism,
+    PoiAttack,
+    SpeedSmoothingMechanism,
+    poi_recall,
+)
+from repro.privacy.pois import PoiExtractorConfig
+from repro.units import HOUR, MINUTE
+
+
+def mean_recall(population, dataset, attack: PoiAttack) -> float:
+    found = attack.run(dataset)
+    recalls = [
+        poi_recall(
+            population.truth.pois_of(user, min_total_dwell=2 * HOUR),
+            found.get(user, []),
+            radius_m=250.0,
+        )
+        for user in dataset.users
+    ]
+    return sum(recalls) / len(recalls)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_extractor_thresholds(benchmark, population):
+    """Attack strength across stay-point thresholds on raw data."""
+    grid = [
+        (100.0, 10 * MINUTE),
+        (200.0, 15 * MINUTE),
+        (200.0, 30 * MINUTE),
+        (400.0, 15 * MINUTE),
+        (400.0, 60 * MINUTE),
+    ]
+
+    def sweep():
+        results = {}
+        for roam, dwell in grid:
+            config = PoiExtractorConfig(roam_distance_m=roam, min_dwell=dwell)
+            attack = PoiAttack(config)
+            results[(roam, dwell)] = mean_recall(population, population.dataset, attack)
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    rows = [
+        {"roam_m": roam, "dwell_min": dwell / 60, "recall": round(recall, 2)}
+        for (roam, dwell), recall in results.items()
+    ]
+    record_rows(benchmark, rows, claim="defaults sit on the recall plateau")
+    # The default configuration is on the plateau: near-max recall.
+    assert results[(200.0, 15 * MINUTE)] >= max(results.values()) - 0.1
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_resampling_variant(benchmark, population):
+    """Chord vs curvilinear resampling inside speed smoothing."""
+
+    def sweep():
+        attack = PoiAttack(denoise_window=9)
+        results = {}
+        for variant in ("chord", "curvilinear"):
+            mechanism = SpeedSmoothingMechanism(100.0, resampling=variant)
+            protected = mechanism.protect(population.dataset, seed=3)
+            results[variant] = mean_recall(population, protected, attack)
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    rows = [
+        {"resampling": variant, "poi_recall": round(recall, 2)}
+        for variant, recall in results.items()
+    ]
+    record_rows(benchmark, rows, claim="chord resampling is what hides stops")
+    assert results["chord"] <= 0.3
+    assert results["curvilinear"] >= results["chord"] + 0.3
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_attacker_denoise_window(benchmark, population):
+    """Attack recall vs denoising window under geo-indistinguishability."""
+    protected = GeoIndistinguishabilityMechanism(0.01).protect(
+        population.dataset, seed=3
+    )
+
+    def sweep():
+        return {
+            window: mean_recall(
+                population, protected, PoiAttack(denoise_window=window)
+            )
+            for window in (1, 5, 9, 15)
+        }
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    rows = [
+        {"window": window, "poi_recall": round(recall, 2)}
+        for window, recall in results.items()
+    ]
+    record_rows(benchmark, rows, claim="naive audits undercount leakage")
+    assert results[9] > results[1]  # denoising is what breaks geo-ind

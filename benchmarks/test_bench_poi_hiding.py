@@ -1,0 +1,77 @@
+"""E3: speed smoothing "prevents to find out places where he stopped".
+
+Sweeps the smoothing step and compares the POI attack against the
+unprotected control: recall must collapse under smoothing while the raw
+control stays near-perfect, and the re-identification linkage must drop
+with it.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from repro.privacy import (
+    IdentityMechanism,
+    PoiAttack,
+    ReidentificationAttack,
+    SpeedSmoothingMechanism,
+    poi_precision,
+    poi_recall,
+    reidentification_rate,
+)
+from repro.units import HOUR
+
+STEPS_M = [100.0, 250.0, 500.0]
+
+
+def measure(population, attack_split, mechanism):
+    background, target = attack_split
+    protected = mechanism.protect(target, seed=3)
+    found = PoiAttack(denoise_window=9).run(protected)
+    recalls, precisions = [], []
+    for user in target.users:
+        truth = population.truth.pois_of(user, min_total_dwell=2 * HOUR)
+        recalls.append(poi_recall(truth, found.get(user, []), radius_m=250.0))
+        precisions.append(poi_precision(truth, found.get(user, []), radius_m=250.0))
+
+    linker = ReidentificationAttack(denoise_window=9).fit(background)
+    pseudo, secret = protected.pseudonymized()
+    guesses = {p: r.guessed_user for p, r in linker.link(pseudo).items()}
+    return (
+        sum(recalls) / len(recalls),
+        sum(precisions) / len(precisions),
+        reidentification_rate(secret, guesses),
+        protected.n_records,
+    )
+
+
+@pytest.mark.benchmark(group="poi-hiding")
+def test_bench_poi_hiding_sweep(benchmark, population, attack_split):
+    def sweep():
+        results = {"raw": measure(population, attack_split, IdentityMechanism())}
+        for step in STEPS_M:
+            results[f"smooth-{step:.0f}m"] = measure(
+                population, attack_split, SpeedSmoothingMechanism(step)
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    rows = [
+        {
+            "mechanism": label,
+            "poi_recall": round(recall, 2),
+            "poi_precision": round(precision, 2),
+            "reident_rate": round(reident, 2),
+            "published_records": records,
+        }
+        for label, (recall, precision, reident, records) in results.items()
+    ]
+    record_rows(benchmark, rows, claim="smoothing hides stops; raw control leaks all")
+
+    raw_recall = results["raw"][0]
+    assert raw_recall >= 0.85
+    for step in STEPS_M:
+        recall, precision, reident, _ = results[f"smooth-{step:.0f}m"]
+        assert recall <= 0.3, f"step={step}: recall {recall}"
+        assert reident < results["raw"][2], f"step={step}: linkage not reduced"
+    # Coarser steps hide harder.
+    assert results["smooth-500m"][0] <= results["smooth-100m"][0] + 0.05

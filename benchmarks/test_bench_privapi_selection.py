@@ -1,0 +1,139 @@
+"""E9: PRIVAPI's utility-driven optimal strategy selection.
+
+The middleware's thesis: "there is not one unique anonymization strategy
+that always performs well but many from which we can choose the one that
+fits the best to the usage".  The bench runs a full publication audit
+under both utility objectives and checks the selection logic end to end.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from repro.core import (
+    CrowdedPlacesObjective,
+    DistortionObjective,
+    OdFlowObjective,
+    PrivacyRequirement,
+    PrivApi,
+    TrafficFlowObjective,
+)
+from repro.privacy import (
+    GeoIndistinguishabilityMechanism,
+    SpatialCloakingMechanism,
+    SpeedSmoothingMechanism,
+)
+from repro.privacy.mechanisms import KAnonymityCloakingMechanism
+
+REGISTRY = [
+    SpeedSmoothingMechanism(100.0),
+    SpeedSmoothingMechanism(250.0),
+    GeoIndistinguishabilityMechanism(0.01),
+    GeoIndistinguishabilityMechanism(0.001),
+    SpatialCloakingMechanism(400.0),
+    KAnonymityCloakingMechanism(k=6, base_cell_m=250.0),
+]
+
+
+@pytest.mark.benchmark(group="privapi")
+def test_bench_publication_audit(benchmark, population):
+    privapi = PrivApi(mechanisms=REGISTRY, seed=5)
+    requirement = PrivacyRequirement(max_poi_recall=0.25)
+
+    def publish_both():
+        return {
+            "crowded-places": privapi.publish(
+                population.dataset, requirement, CrowdedPlacesObjective()
+            ),
+            "traffic-flow": privapi.publish(
+                population.dataset, requirement, TrafficFlowObjective()
+            ),
+        }
+
+    results = benchmark.pedantic(publish_both, iterations=1, rounds=1)
+    rows = []
+    for objective, result in results.items():
+        for evaluation in result.report.evaluations:
+            rows.append(
+                {
+                    "objective": objective,
+                    "mechanism": evaluation.mechanism,
+                    "recall": round(evaluation.poi_recall, 2),
+                    "utility": round(evaluation.utility, 2),
+                    "ok": evaluation.satisfies_privacy,
+                }
+            )
+        rows.append({"objective": objective, "CHOSEN": result.report.chosen})
+    record_rows(benchmark, rows, claim="selection picks smoothing under POI bar")
+
+    for objective, result in results.items():
+        assert result.dataset is not None, f"{objective}: nothing satisfied the bar"
+        # Under a meaningful POI bar only smoothing both satisfies privacy
+        # and retains utility, so the selection must land there.
+        assert "speed-smoothing" in result.report.chosen
+        chosen = result.report.chosen_evaluation()
+        assert chosen is not None and chosen.satisfies_privacy
+        # The chosen mechanism maximises utility among the compliant.
+        compliant = [e for e in result.report.evaluations if e.satisfies_privacy]
+        assert chosen.utility == max(e.utility for e in compliant)
+
+
+@pytest.mark.benchmark(group="privapi")
+def test_bench_objective_flip_od_flows(benchmark, population):
+    """The thesis in one bench: under the *same* privacy bar the chosen
+    mechanism flips with the analyst's task — crowded-places picks speed
+    smoothing, origin-destination flows pick k-anonymity cloaking
+    (smoothing erases the stops OD analysis needs: a 250 m chord step
+    exceeds the 200 m stay gate, so a smoothed release yields zero
+    trips, while density-adaptive cloaking keeps stop structure at zone
+    granularity)."""
+    privapi = PrivApi(
+        mechanisms=[
+            SpeedSmoothingMechanism(250.0),
+            KAnonymityCloakingMechanism(k=8, base_cell_m=250.0),
+        ],
+        seed=5,
+    )
+    requirement = PrivacyRequirement(max_poi_recall=0.25)
+
+    def publish_both():
+        return {
+            "crowded-places": privapi.publish(
+                population.dataset, requirement, CrowdedPlacesObjective()
+            ),
+            "od-flows": privapi.publish(
+                population.dataset, requirement, OdFlowObjective()
+            ),
+        }
+
+    results = benchmark.pedantic(publish_both, iterations=1, rounds=1)
+    rows = [
+        {"objective": name, "chosen": result.report.chosen}
+        for name, result in results.items()
+    ]
+    record_rows(benchmark, rows, claim="chosen mechanism flips with objective")
+    assert "speed-smoothing" in results["crowded-places"].report.chosen
+    assert "k-anonymity" in results["od-flows"].report.chosen
+
+
+@pytest.mark.benchmark(group="privapi")
+def test_bench_permissive_bar_prefers_light_noise(benchmark, population):
+    """With no privacy bar, the distortion objective flips the choice —
+    the 'no one-size-fits-all' half of the thesis."""
+    privapi = PrivApi(
+        mechanisms=[
+            GeoIndistinguishabilityMechanism(0.05),
+            SpeedSmoothingMechanism(250.0),
+        ],
+        seed=5,
+    )
+
+    def publish():
+        return privapi.publish(
+            population.dataset,
+            PrivacyRequirement(max_poi_recall=1.0),
+            DistortionObjective(),
+        )
+
+    result = benchmark.pedantic(publish, iterations=1, rounds=1)
+    assert result.dataset is not None
+    assert "geo-indistinguishability" in result.report.chosen

@@ -1,0 +1,134 @@
+"""E8: secure aggregation cost (Paillier vs additive masking).
+
+Timing of sum queries over N device readings for both protocols and two
+key sizes.  Expected shapes: Paillier cost is linear in N and grows
+steeply (~cubically) with key size; masking is orders of magnitude
+cheaper but requires full participation.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from repro.crypto import (
+    DeviceContributor,
+    MaskedAggregation,
+    MaskingParticipant,
+    ObliviousAggregator,
+    QueryCoordinator,
+)
+
+
+def paillier_round(coordinator, n_devices: int, query_id: str) -> float:
+    query = coordinator.open_query(query_id)
+    contributor = DeviceContributor(random.Random(2))
+    aggregator = ObliviousAggregator(query)
+    for index in range(n_devices):
+        aggregator.accept(contributor.contribute_value(query, float(index)))
+    return coordinator.decrypt_sum(query, aggregator.scalar_result())
+
+
+def masking_round(n_devices: int) -> float:
+    aggregation = MaskedAggregation(n_devices)
+    seed = b"bench-seed"
+    for index in range(n_devices):
+        participant = MaskingParticipant(index, n_devices, seed)
+        aggregation.accept(participant.masked_value(float(index)))
+    return aggregation.result_sum()
+
+
+@pytest.mark.benchmark(group="secure-agg")
+@pytest.mark.parametrize("key_bits", [256, 512])
+@pytest.mark.parametrize("n_devices", [10, 50])
+def test_bench_paillier_sum(benchmark, key_bits, n_devices):
+    coordinator = QueryCoordinator(key_bits=key_bits, rng=random.Random(1))
+    counter = iter(range(10_000))
+
+    def run():
+        return paillier_round(coordinator, n_devices, f"q{next(counter)}")
+
+    total = benchmark(run)
+    expected = float(sum(range(n_devices)))
+    assert total == pytest.approx(expected)
+    benchmark.extra_info["key_bits"] = key_bits
+    benchmark.extra_info["n_devices"] = n_devices
+
+
+@pytest.mark.benchmark(group="secure-agg")
+@pytest.mark.parametrize("n_devices", [10, 50])
+def test_bench_masking_sum(benchmark, n_devices):
+    total = benchmark(lambda: masking_round(n_devices))
+    assert total == pytest.approx(float(sum(range(n_devices))))
+    benchmark.extra_info["n_devices"] = n_devices
+
+
+@pytest.mark.benchmark(group="secure-agg")
+@pytest.mark.parametrize("n_dropped", [0, 2])
+def test_bench_resilient_masking(benchmark, n_dropped):
+    """Dropout-resilient masking: cost of a round including recovery.
+
+    The recovery path reconstructs one Shamir secret per (dropped, live)
+    pair, so cost grows with dropped x survivors — the trade the
+    protocol makes for tolerating churn at all.
+    """
+    from repro.crypto import MaskingDealer
+    from repro.crypto.resilient_masking import ResilientAggregation
+
+    n, threshold = 12, 7
+    participants = MaskingDealer(n, threshold, rng=random.Random(1)).deal()
+    dropped = set(range(n_dropped))
+    rounds = iter(range(1_000_000))
+
+    def run():
+        round_id = next(rounds)
+        aggregation = ResilientAggregation(n, threshold, round_id=round_id)
+        for participant in participants:
+            if participant.index in dropped:
+                continue
+            aggregation.accept(
+                participant.index,
+                participant.masked_value(1.0, round_id=round_id),
+            )
+        survivors = {
+            p.index: p for p in participants if p.index not in dropped
+        }
+        return aggregation.recover_and_sum(survivors)
+
+    total = benchmark(run)
+    assert total == pytest.approx(float(n - n_dropped))
+    benchmark.extra_info["n_dropped"] = n_dropped
+
+
+@pytest.mark.benchmark(group="secure-agg")
+def test_bench_keygen_cost(benchmark):
+    """Key generation dominates setup; grows steeply with key size."""
+    rng = random.Random(3)
+
+    def generate():
+        from repro.crypto import generate_keypair
+
+        return generate_keypair(512, rng)
+
+    keypair = benchmark(generate)
+    assert keypair.public_key.n.bit_length() == 512
+
+
+@pytest.mark.benchmark(group="secure-agg")
+def test_bench_histogram_query(benchmark):
+    coordinator = QueryCoordinator(key_bits=256, rng=random.Random(4))
+    contributor = DeviceContributor(random.Random(5))
+    bins = ["2g", "3g", "4g", "5g"]
+    counter = iter(range(10_000))
+
+    def run():
+        query = coordinator.open_query(f"h{next(counter)}", bins=bins)
+        aggregator = ObliviousAggregator(query)
+        for index in range(20):
+            aggregator.accept(
+                contributor.contribute_category(query, bins[index % len(bins)])
+            )
+        return coordinator.decrypt_histogram(query, aggregator.encrypted_result())
+
+    histogram = benchmark(run)
+    assert histogram == {"2g": 5, "3g": 5, "4g": 5, "5g": 5}

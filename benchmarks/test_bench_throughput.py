@@ -1,0 +1,49 @@
+"""Component throughput benchmarks (performance regression guards).
+
+Not tied to a paper claim; these keep the substrate fast enough that the
+claim benches stay laptop-scale.  pytest-benchmark tracks the timings.
+"""
+
+import pytest
+
+from repro.mobility.generator import GeneratorConfig, MobilityGenerator
+from repro.privacy import (
+    GeoIndistinguishabilityMechanism,
+    PoiAttack,
+    SpeedSmoothingMechanism,
+)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_generator(benchmark):
+    config = GeneratorConfig(n_users=5, n_days=2, sampling_period=120.0)
+    seeds = iter(range(10_000))
+
+    def generate():
+        return MobilityGenerator(config).generate(seed=next(seeds))
+
+    population = benchmark(generate)
+    assert population.dataset.n_records > 5000
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_speed_smoothing_protect(benchmark, population):
+    mechanism = SpeedSmoothingMechanism(100.0)
+    protected = benchmark(lambda: mechanism.protect(population.dataset, seed=1))
+    assert len(protected) > 0
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_geo_ind_protect(benchmark, population):
+    mechanism = GeoIndistinguishabilityMechanism(0.01)
+    protected = benchmark(lambda: mechanism.protect(population.dataset, seed=1))
+    assert protected.n_records == population.dataset.n_records
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_poi_attack(benchmark, population):
+    """The audit's hot path: denoise + stay points + clustering."""
+    target = population.dataset.slice_time(0, 2 * 86400.0)
+    attack = PoiAttack(denoise_window=9)
+    found = benchmark.pedantic(lambda: attack.run(target), iterations=1, rounds=2)
+    assert len(found) == len(target)

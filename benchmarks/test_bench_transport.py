@@ -1,0 +1,64 @@
+"""E1 extension: store-and-forward resilience under uplink loss.
+
+Sweeps the wireless loss probability and measures how much of the
+collected data still reaches the Honeycomb.  Expected shape: collected
+volume degrades gracefully (devices retry buffered uploads), far slower
+than the raw loss rate — the store-and-forward design carries the
+platform through bad radio conditions.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from repro.apisense import Campaign, CampaignConfig, SensingTask
+from repro.units import DAY
+
+LOSS_RATES = [0.0, 0.2, 0.4, 0.6]
+
+
+def run_with_loss(population, loss: float) -> dict:
+    campaign = Campaign(
+        population,
+        config=CampaignConfig(n_days=2, seed=4, uplink_loss=loss),
+    )
+    campaign.deploy(
+        SensingTask(
+            name="study",
+            sensors=("gps",),
+            sampling_period=300.0,
+            upload_period=1800.0,
+            end=2 * DAY,
+        )
+    )
+    report = campaign.run()
+    failed_uploads = sum(
+        stats.uploads_failed
+        for device in campaign.devices
+        for stats in device.stats.values()
+    )
+    return {
+        "loss": loss,
+        "records": report.total_records,
+        "failed_uploads": failed_uploads,
+        "observed_loss": round(campaign.hive.transport.stats.loss_rate, 2),
+    }
+
+
+@pytest.mark.benchmark(group="transport")
+def test_bench_loss_resilience(benchmark, population):
+    def sweep():
+        return {loss: run_with_loss(population, loss) for loss in LOSS_RATES}
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    rows = list(results.values())
+    record_rows(benchmark, rows, claim="volume degrades far slower than loss rate")
+
+    baseline = results[0.0]["records"]
+    assert baseline > 0
+    # Store-and-forward: at 40 % loss the platform still collects the
+    # large majority of what a lossless network would.
+    assert results[0.4]["records"] >= baseline * 0.6
+    assert results[0.4]["failed_uploads"] > 0
+    # Monotone degradation (weak: ties allowed).
+    volumes = [results[loss]["records"] for loss in LOSS_RATES]
+    assert volumes[0] >= volumes[-1]

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Federated deployment: one experiment, two communities, one dataset.
+
+"One of the benefits of building a common platform like APISENSE lies in
+the federation of communities of mobile users" (Section 2).  Two cities
+run their own Hives; a scientist's Honeycomb in city A syndicates its
+task to city B's community as well, and all data flows back to the one
+endpoint.  The operator dashboard (monitoring snapshots) watches both
+Hives mid-campaign.
+
+Run:  python examples/federated_deployment.py
+"""
+
+import numpy as np
+
+from repro.apisense import Hive, Honeycomb, HiveFederation, SensingTask
+from repro.apisense.battery import Battery, BatteryModel
+from repro.apisense.device import MobileDevice
+from repro.apisense.monitoring import snapshot
+from repro.apisense.sensors import default_sensor_suite
+from repro.geo.point import GeoPoint
+from repro.mobility import CityConfig, GeneratorConfig, MobilityGenerator
+from repro.simulation import Simulator
+from repro.units import DAY, HOUR
+
+CITIES = {
+    "bordeaux": CityConfig(center=GeoPoint(44.8378, -0.5792)),
+    "lyon": CityConfig(center=GeoPoint(45.7640, 4.8357)),
+}
+
+
+def build_hive(sim: Simulator, name: str, config: CityConfig, seed: int) -> Hive:
+    population = MobilityGenerator(
+        GeneratorConfig(n_users=8, n_days=2, sampling_period=300.0, city=config)
+    ).generate(seed=seed)
+    rng = np.random.default_rng(seed)
+    suite = default_sensor_suite(population.city, rng)
+    hive = Hive(sim, seed=seed)
+    for index, trajectory in enumerate(population.dataset):
+        hive.register_device(
+            MobileDevice(
+                device_id=f"{name}-dev-{index}",
+                user=f"{name}:{trajectory.user}",
+                trajectory=trajectory.renamed(f"{name}:{trajectory.user}"),
+                sensors=suite,
+                battery=Battery(BatteryModel(), level=float(rng.uniform(0.5, 1.0))),
+                seed=seed * 1000 + index,
+            )
+        )
+    return hive
+
+
+def main() -> None:
+    sim = Simulator()
+    federation = HiveFederation()
+    for seed, (name, config) in enumerate(CITIES.items(), start=1):
+        federation.register_hive(name, build_hive(sim, name, config, seed))
+    print(f"federation: {federation.hive_names}, {federation.total_devices()} devices\n")
+
+    owner = Honeycomb("mobility-lab", federation.hive("bordeaux"))
+    task = SensingTask(
+        name="multi-city-mobility",
+        sensors=("gps",),
+        sampling_period=300.0,
+        upload_period=1800.0,
+        end=2 * DAY,
+    )
+    receipt = federation.syndicate(task, owner, home="bordeaux")
+    print(
+        f"syndicated {receipt.task!r} from {receipt.home_hive} to "
+        f"{list(receipt.partner_hives)}: {receipt.total_offers} offers\n"
+    )
+
+    # Mid-campaign dashboard.
+    sim.run_until(12 * HOUR)
+    for name in federation.hive_names:
+        print(snapshot(federation.hive(name), sim.now).to_text())
+        print()
+
+    # Finish and inspect the merged dataset.
+    sim.run_until(2 * DAY + HOUR)
+    collected = owner.mobility_dataset(task.name)
+    per_city = {}
+    for user in collected.users:
+        city = user.split(":")[0]
+        per_city[city] = per_city.get(city, 0) + 1
+    print(
+        f"collected {collected.n_records} records from {len(collected)} users "
+        f"across cities: {per_city}"
+    )
+    for name, (offers, acceptances, records) in federation.task_stats(task.name).items():
+        print(f"  {name}: offers={offers} accepted={acceptances} records={records}")
+
+
+if __name__ == "__main__":
+    main()

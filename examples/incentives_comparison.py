@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Comparing the paper's four incentive strategies on one campaign.
+
+"The selection of incentive strategies carefully depends on the nature of
+the crowdsourcing experiments" (Section 2).  This example runs the same
+two-week campaign under each strategy and reports collected volume and
+community health, showing the retention ordering.
+
+Run:  python examples/incentives_comparison.py
+"""
+
+from repro.apisense import (
+    Campaign,
+    CampaignConfig,
+    FeedbackIncentive,
+    NoIncentive,
+    RankingIncentive,
+    RewardIncentive,
+    SensingTask,
+    WinWinIncentive,
+)
+from repro.mobility import GeneratorConfig, MobilityGenerator
+from repro.units import DAY
+
+STRATEGIES = [
+    NoIncentive(),
+    FeedbackIncentive(),
+    RankingIncentive(),
+    RewardIncentive(credit_per_record=0.01),
+    WinWinIncentive(),
+]
+
+N_DAYS = 14
+
+
+def main() -> None:
+    population = MobilityGenerator(
+        GeneratorConfig(n_users=25, n_days=N_DAYS, sampling_period=300.0)
+    ).generate(seed=21)
+
+    print(f"{'strategy':<10} {'records':>9} {'accept':>7} {'motivation':>11} {'trend':>22}")
+    print("-" * 64)
+    for strategy in STRATEGIES:
+        campaign = Campaign(
+            population,
+            incentive=strategy,
+            config=CampaignConfig(n_days=N_DAYS, seed=9),
+        )
+        campaign.deploy(
+            SensingTask(
+                name="study",
+                sensors=("gps", "battery"),
+                sampling_period=600.0,
+                upload_period=3600.0,
+                end=N_DAYS * DAY,
+            )
+        )
+        report = campaign.run()
+        early = sum(report.daily_records[:3])
+        late = sum(report.daily_records[-3:])
+        trend = late / early if early else 0.0
+        print(
+            f"{strategy.name:<10} {report.total_records:>9} "
+            f"{report.acceptance_rate_per_task['study']:>6.0%} "
+            f"{report.mean_motivation:>11.2f} "
+            f"{'last/first 3 days = ' + format(trend, '.2f'):>22}"
+        )
+
+    print(
+        "\nReading: win-win sustains (and grows) participation; per-"
+        "\ncontribution boosts (feedback, reward) help; ranking keeps a"
+        "\nmotivated core only; without incentives the community decays."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Privacy study: mechanisms x attacks, the paper's Section 3 in one table.
+
+Sweeps every registered mechanism against the POI-retrieval and
+re-identification attacks and the two utility objectives, printing the
+trade-off table that motivates PRIVAPI's thesis: no mechanism dominates,
+and only speed smoothing hides POIs while keeping spatial analyses alive.
+
+Run:  python examples/privacy_study.py
+"""
+
+from repro.core import CrowdedPlacesObjective, TrafficFlowObjective
+from repro.mobility import GeneratorConfig, MobilityGenerator
+from repro.privacy import (
+    GeoIndistinguishabilityMechanism,
+    IdentityMechanism,
+    PoiAttack,
+    ReidentificationAttack,
+    SpatialCloakingMechanism,
+    SpeedSmoothingMechanism,
+    TemporalDownsamplingMechanism,
+    poi_recall,
+    reidentification_rate,
+)
+from repro.units import DAY, HOUR, MINUTE
+
+MECHANISMS = [
+    ("raw (identity)", IdentityMechanism()),
+    ("geo-ind eps=0.01/m", GeoIndistinguishabilityMechanism(0.01)),
+    ("geo-ind eps=0.005/m", GeoIndistinguishabilityMechanism(0.005)),
+    ("geo-ind eps=0.001/m", GeoIndistinguishabilityMechanism(0.001)),
+    ("cloaking 400m", SpatialCloakingMechanism(400.0)),
+    ("downsample 15min", TemporalDownsamplingMechanism(15 * MINUTE)),
+    ("speed-smooth 100m", SpeedSmoothingMechanism(100.0)),
+    ("speed-smooth 250m", SpeedSmoothingMechanism(250.0)),
+]
+
+
+def main() -> None:
+    print("Generating population (20 users x 8 days)...")
+    population = MobilityGenerator(
+        GeneratorConfig(n_users=20, n_days=8, sampling_period=120.0)
+    ).generate(seed=11)
+    dataset = population.dataset
+
+    background = dataset.slice_time(0, 4 * DAY)
+    target = dataset.slice_time(4 * DAY, 8 * DAY)
+    linker = ReidentificationAttack(denoise_window=9).fit(background)
+    poi_attack = PoiAttack(denoise_window=9)
+    crowded = CrowdedPlacesObjective()
+    traffic = TrafficFlowObjective()
+
+    print(
+        f"\n{'mechanism':<22} {'POI recall':>10} {'re-ident':>9} "
+        f"{'crowded F1':>11} {'traffic':>8}"
+    )
+    print("-" * 66)
+    for label, mechanism in MECHANISMS:
+        protected = mechanism.protect(target, seed=3)
+
+        found = poi_attack.run(protected)
+        recalls = [
+            poi_recall(
+                population.truth.pois_of(user, min_total_dwell=2 * HOUR),
+                found.get(user, []),
+                radius_m=250.0,
+            )
+            for user in target.users
+        ]
+        recall = sum(recalls) / len(recalls)
+
+        pseudo, secret = protected.pseudonymized()
+        guesses = {p: r.guessed_user for p, r in linker.link(pseudo).items()}
+        reident = reidentification_rate(secret, guesses)
+
+        crowded_score = crowded.score(target, protected)
+        traffic_score = traffic.score(target, protected)
+        print(
+            f"{label:<22} {recall:>10.2f} {reident:>9.2f} "
+            f"{crowded_score:>11.2f} {traffic_score:>8.2f}"
+        )
+
+    print(
+        "\nReading: geo-indistinguishability needs eps <= 0.001/m to push POI"
+        "\nrecall down, which destroys utility; speed smoothing achieves both"
+        "\n(the paper's Section 3 claim)."
+    )
+
+
+if __name__ == "__main__":
+    main()

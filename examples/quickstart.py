@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: generate mobility data and publish it through PRIVAPI.
+
+This is the 60-second tour: synthesize a small crowd-sensing dataset,
+ask PRIVAPI to publish it with a privacy floor and a utility objective,
+and read the audit report explaining which anonymization strategy it
+picked and why.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CrowdedPlacesObjective,
+    GeneratorConfig,
+    MobilityGenerator,
+    PrivacyRequirement,
+    PrivApi,
+)
+
+
+def main() -> None:
+    # 1. A synthetic population: 15 users, one week, 2-minute GPS period.
+    print("Generating population (15 users x 7 days)...")
+    population = MobilityGenerator(
+        GeneratorConfig(n_users=15, n_days=7, sampling_period=120.0)
+    ).generate(seed=42)
+    dataset = population.dataset
+    print(f"  {len(dataset)} users, {dataset.n_records} GPS records\n")
+
+    # 2. Publish with PRIVAPI: hide at least 80 % of sensitive places,
+    #    maximise crowded-places utility among compliant mechanisms.
+    privapi = PrivApi(seed=7)
+    result = privapi.publish(
+        dataset,
+        requirement=PrivacyRequirement(max_poi_recall=0.2),
+        objective=CrowdedPlacesObjective(),
+    )
+
+    # 3. The audit report: every candidate mechanism, attacked and scored.
+    print(result.report.to_text())
+
+    # 4. The publishable artefact.
+    assert result.dataset is not None
+    print(
+        f"\npublished dataset: {len(result.dataset)} pseudonymous users, "
+        f"{result.dataset.n_records} records"
+    )
+    print("pseudonym mapping stays with the platform (never released).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Dropout-resilient secure aggregation: masks that survive churn.
+
+Mobile devices drop off the network constantly.  The plain masking
+protocol breaks if a single participant fails to report; this example
+runs the Shamir-backed resilient variant end to end: a fleet submits
+masked battery readings, two devices drop mid-round, and the aggregator
+recovers the exact sum of the survivors by reconstructing only the
+*dropped* devices' mask seeds from the survivors' shares.
+
+Run:  python examples/secure_aggregation_dropout.py
+"""
+
+import random
+
+from repro.crypto import MaskedAggregation, MaskingDealer, MaskingParticipant
+from repro.crypto.resilient_masking import ResilientAggregation
+from repro.errors import ProtocolError
+
+
+def main() -> None:
+    n, threshold = 8, 5
+    rng = random.Random(7)
+    readings = [round(rng.uniform(0.1, 1.0), 3) for _ in range(n)]
+    dropped = {2, 6}
+    print(f"fleet of {n} devices, threshold {threshold}, readings: {readings}")
+    print(f"devices {sorted(dropped)} will drop before submitting\n")
+
+    # --- The plain protocol cannot even decode -------------------------
+    plain = MaskedAggregation(n)
+    for index in range(n):
+        if index in dropped:
+            continue
+        plain.accept(MaskingParticipant(index, n, b"seed").masked_value(readings[index]))
+    try:
+        plain.result_sum()
+    except ProtocolError as error:
+        print(f"plain masking:     ProtocolError: {error}")
+
+    # --- The resilient protocol recovers -------------------------------
+    dealer = MaskingDealer(n, threshold, rng=random.Random(1))
+    participants = dealer.deal()
+
+    aggregation = ResilientAggregation(n, threshold)
+    for participant in participants:
+        if participant.index in dropped:
+            continue
+        aggregation.accept(
+            participant.index, participant.masked_value(readings[participant.index])
+        )
+    print(f"resilient masking: dropped detected = {aggregation.dropped}")
+
+    survivors = {p.index: p for p in participants if p.index not in dropped}
+    total = aggregation.recover_and_sum(survivors)
+    expected = sum(v for i, v in enumerate(readings) if i not in dropped)
+    print(f"recovered sum of survivors: {total:.3f} (expected {expected:.3f})")
+    assert abs(total - expected) < 1e-6
+    print("\nThe aggregator learned the survivors' *sum* and nothing else;")
+    print("recovery exposed only the dropped devices' pairwise seeds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and has no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` fall back to the classic setuptools
+``develop`` command.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro: reproduction of "Towards a Practical Deployment of
+Privacy-preserving Crowd-sensing Tasks" (Haderer et al., Middleware'14).
+
+Two headline components, as in the paper:
+
+- :mod:`repro.apisense` — the crowd-sensing middleware platform (Hive,
+  Honeycombs, simulated devices, virtual sensors, incentives);
+- :mod:`repro.core` — PRIVAPI, the privacy-preserving publication
+  middleware (mechanism registry, empirical audit, utility-driven
+  selection).
+
+Supporting substrates: :mod:`repro.geo` (geodesy), :mod:`repro.mobility`
+(synthetic workloads with ground truth), :mod:`repro.privacy`
+(mechanisms, attacks, metrics), :mod:`repro.utility` (analyst tasks),
+:mod:`repro.crypto` (secure aggregation), :mod:`repro.simulation`
+(deterministic event loop).
+
+Quickstart::
+
+    from repro.mobility import MobilityGenerator, GeneratorConfig
+    from repro.core import PrivApi, PrivacyRequirement, CrowdedPlacesObjective
+
+    population = MobilityGenerator(GeneratorConfig(n_users=20)).generate(seed=1)
+    result = PrivApi().publish(
+        population.dataset,
+        requirement=PrivacyRequirement(max_poi_recall=0.2),
+        objective=CrowdedPlacesObjective(),
+    )
+    print(result.report.to_text())
+"""
+
+from repro.core import (
+    CrowdedPlacesObjective,
+    DistortionObjective,
+    PrivacyRequirement,
+    PrivApi,
+    PublicationResult,
+    TrafficFlowObjective,
+)
+from repro.mobility import GeneratorConfig, MobilityDataset, MobilityGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrivApi",
+    "PublicationResult",
+    "PrivacyRequirement",
+    "CrowdedPlacesObjective",
+    "TrafficFlowObjective",
+    "DistortionObjective",
+    "MobilityGenerator",
+    "GeneratorConfig",
+    "MobilityDataset",
+    "__version__",
+]

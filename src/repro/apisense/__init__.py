@@ -1,0 +1,126 @@
+"""APISENSE: the distributed crowd-sensing middleware (paper Section 2).
+
+The platform's architecture maps one-to-one onto the paper's Figure 1:
+
+- the :class:`~repro.apisense.hive.Hive` manages the community of mobile
+  users and publishes crowd-sensing tasks;
+- :class:`~repro.apisense.honeycomb.Honeycomb` endpoints upload tasks
+  (described as scripts) and receive the collected datasets;
+- :class:`~repro.apisense.device.MobileDevice` instances run offloaded
+  tasks against their sensors, behind an on-device privacy layer
+  (:mod:`repro.apisense.filters`) controlled by user preferences;
+- :class:`~repro.apisense.virtual_sensor.VirtualSensor` groups devices
+  behind retrieval strategies (:mod:`repro.apisense.scheduling`);
+- :mod:`repro.apisense.incentives` implements the four incentive
+  strategies the paper lists.
+
+Everything runs on the deterministic simulator from
+:mod:`repro.simulation`; see DESIGN.md for the substitution argument.
+"""
+
+from repro.apisense.tasks import SensingTask
+from repro.apisense.battery import Battery, BatteryModel
+from repro.apisense.sensors import (
+    AccelerometerSensor,
+    BatterySensor,
+    GpsSensor,
+    NetworkQualitySensor,
+    Sensor,
+    SensorSuite,
+    default_sensor_suite,
+)
+from repro.apisense.preferences import UserPreferences
+from repro.apisense.filters import (
+    AreaFenceFilter,
+    FieldDropFilter,
+    LocationBlurFilter,
+    PrivacyFilterChain,
+    QuietHoursFilter,
+)
+from repro.apisense.device import MobileDevice, SensorRecord
+from repro.apisense.hive import Hive, HiveStats
+from repro.apisense.honeycomb import Honeycomb
+from repro.apisense.scheduling import (
+    CoverageGreedyStrategy,
+    EnergyAwareStrategy,
+    FairBudgetStrategy,
+    RoundRobinStrategy,
+    SchedulingStrategy,
+)
+from repro.apisense.virtual_sensor import VirtualSensor
+from repro.apisense.incentives import (
+    FeedbackIncentive,
+    IncentiveStrategy,
+    NoIncentive,
+    RankingIncentive,
+    RewardIncentive,
+    UserState,
+    WinWinIncentive,
+)
+from repro.apisense.campaign import Campaign, CampaignConfig, CampaignReport
+from repro.apisense.transport import Transport, TransportStats
+from repro.apisense.federation import HiveFederation, SyndicationReceipt
+from repro.apisense.monitoring import PlatformHealthReport, snapshot
+from repro.apisense.vetting import DryRunReport, dry_run_task
+from repro.apisense.recruitment import (
+    AllDevices,
+    BatteryFloorRecruitment,
+    QuotaRecruitment,
+    RecruitmentPolicy,
+    RegionRecruitment,
+    SensorCapabilityRecruitment,
+)
+
+__all__ = [
+    "SensingTask",
+    "Battery",
+    "BatteryModel",
+    "Sensor",
+    "SensorSuite",
+    "GpsSensor",
+    "BatterySensor",
+    "NetworkQualitySensor",
+    "AccelerometerSensor",
+    "default_sensor_suite",
+    "UserPreferences",
+    "PrivacyFilterChain",
+    "LocationBlurFilter",
+    "AreaFenceFilter",
+    "QuietHoursFilter",
+    "FieldDropFilter",
+    "MobileDevice",
+    "SensorRecord",
+    "Hive",
+    "HiveStats",
+    "Honeycomb",
+    "SchedulingStrategy",
+    "RoundRobinStrategy",
+    "EnergyAwareStrategy",
+    "CoverageGreedyStrategy",
+    "FairBudgetStrategy",
+    "VirtualSensor",
+    "IncentiveStrategy",
+    "NoIncentive",
+    "FeedbackIncentive",
+    "RankingIncentive",
+    "RewardIncentive",
+    "WinWinIncentive",
+    "UserState",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignReport",
+    "Transport",
+    "TransportStats",
+    "RecruitmentPolicy",
+    "AllDevices",
+    "RegionRecruitment",
+    "BatteryFloorRecruitment",
+    "QuotaRecruitment",
+    "SensorCapabilityRecruitment",
+    "HiveFederation",
+    "SyndicationReceipt",
+    "DryRunReport",
+    "dry_run_task",
+    "PlatformHealthReport",
+    "snapshot",
+]

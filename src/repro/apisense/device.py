@@ -1,0 +1,257 @@
+"""The simulated mobile device: task runtime, sensors, privacy layer.
+
+A device is driven entirely by simulator events: when it accepts a task
+it schedules its own sampling and upload ticks.  Every sample passes
+through the user's privacy filter chain before it is buffered, and the
+buffer leaves the device only on upload ticks — mirroring the real
+APISENSE client's store-and-forward design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.apisense.battery import Battery
+from repro.apisense.filters import PrivacyFilterChain
+from repro.apisense.preferences import UserPreferences
+from repro.apisense.sensors import SensorSuite
+from repro.apisense.tasks import SensingTask
+from repro.errors import PlatformError
+from repro.geo.point import GeoPoint
+from repro.geo.trajectory import Trajectory
+from repro.simulation import CancelToken, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apisense.hive import Hive
+
+
+@dataclass(frozen=True)
+class SensorRecord:
+    """One collected sample as it travels device -> Hive -> Honeycomb.
+
+    Carries both the device id (platform routing) and the user id (data
+    attribution), so endpoints never need to resolve devices through a
+    specific Hive — which is what lets federated deployments route data
+    across communities.
+    """
+
+    device_id: str
+    user: str
+    task: str
+    time: float
+    values: Mapping[str, object]
+
+
+@dataclass
+class TaskRuntimeStats:
+    """Per-task counters a device keeps (observable via the Hive)."""
+
+    samples_taken: int = 0
+    samples_filtered: int = 0
+    samples_script_dropped: int = 0
+    script_errors: int = 0
+    samples_battery_refused: int = 0
+    uploads: int = 0
+    uploads_failed: int = 0
+
+
+class MobileDevice:
+    """One participant's phone."""
+
+    def __init__(
+        self,
+        device_id: str,
+        user: str,
+        trajectory: Trajectory,
+        sensors: SensorSuite,
+        battery: Battery,
+        preferences: UserPreferences | None = None,
+        seed: int = 0,
+    ):
+        self.device_id = device_id
+        self.user = user
+        self.trajectory = trajectory
+        self.sensors = sensors
+        self.battery = battery
+        self.preferences = preferences or UserPreferences()
+        self._filters = PrivacyFilterChain.from_preferences(self.preferences)
+        self._rng = np.random.default_rng(seed)
+        self._sim: Simulator | None = None
+        self._hive: "Hive | None" = None
+        self._transport = None
+        self._buffers: dict[str, list[SensorRecord]] = {}
+        self._tokens: dict[str, list[CancelToken]] = {}
+        self.stats: dict[str, TaskRuntimeStats] = {}
+
+    # ------------------------------------------------------------------
+    # Binding / physical context
+    # ------------------------------------------------------------------
+
+    def bind(self, sim: Simulator, hive: "Hive", transport=None) -> None:
+        """Attach the device to the simulation and its Hive.
+
+        ``transport`` (a :class:`repro.apisense.transport.Transport`)
+        models the wireless uplink; ``None`` means ideal synchronous
+        delivery (unit tests).
+        """
+        self._sim = sim
+        self._hive = hive
+        self._transport = transport
+
+    def position(self, time: float) -> GeoPoint:
+        """Physical position at ``time`` (trajectory interpolation)."""
+        return self.trajectory.point_at_time(time)
+
+    @property
+    def running_tasks(self) -> list[str]:
+        return list(self._tokens)
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+
+    def offer_task(self, task: SensingTask, acceptance_probability: float) -> bool:
+        """Present a task offer; the user accepts or declines.
+
+        Declines happen for three reasons, checked in order: preferences
+        forbid a requested sensor, the device lacks one, or the user just
+        is not motivated (random draw against ``acceptance_probability``).
+        """
+        if self._sim is None or self._hive is None:
+            raise PlatformError(f"device {self.device_id} is not bound to a simulation")
+        if task.name in self._tokens:
+            raise PlatformError(f"task {task.name!r} already running on {self.device_id}")
+        if not self.preferences.allows_sensors(task.sensors):
+            return False
+        if not all(sensor in self.sensors for sensor in task.sensors):
+            return False
+        if self._rng.uniform() > acceptance_probability:
+            return False
+        self._start_task(task)
+        return True
+
+    def _start_task(self, task: SensingTask) -> None:
+        assert self._sim is not None
+        self._buffers[task.name] = []
+        self.stats[task.name] = TaskRuntimeStats()
+        start = max(task.start, self._sim.now)
+        sampling = self._sim.schedule_periodic(
+            task.sampling_period,
+            lambda: self._sample(task),
+            until=task.end,
+            first_at=start + task.sampling_period,
+        )
+        upload = self._sim.schedule_periodic(
+            task.upload_period,
+            lambda: self._upload(task),
+            until=task.end + task.upload_period,
+            first_at=start + task.upload_period,
+        )
+        self._tokens[task.name] = [sampling, upload]
+
+    def stop_task(self, task_name: str) -> None:
+        """Cancel a running task and flush its buffer."""
+        tokens = self._tokens.pop(task_name, None)
+        if tokens is None:
+            return
+        for token in tokens:
+            token.cancel()
+        self._flush(task_name)
+
+    # ------------------------------------------------------------------
+    # Sampling & upload ticks
+    # ------------------------------------------------------------------
+
+    def _sample(self, task: SensingTask) -> None:
+        assert self._sim is not None
+        now = self._sim.now
+        stats = self.stats[task.name]
+
+        if self.preferences.in_quiet_hours(now):
+            stats.samples_filtered += 1
+            return
+        if task.region is not None and not task.region.contains(self.position(now)):
+            return
+        if not self.battery.drain_sample(task.sensors, now):
+            stats.samples_battery_refused += 1
+            return
+
+        values: dict[str, object] = {
+            name: self.sensors.get(name).read(self, now, self._rng)
+            for name in task.sensors
+        }
+        if task.script is not None:
+            try:
+                scripted = task.script(values)
+            except Exception:
+                stats.script_errors += 1
+                return
+            if scripted is None:
+                stats.samples_script_dropped += 1
+                return
+            values = dict(scripted)
+
+        filtered = self._filters.apply(values, now)
+        if filtered is None:
+            stats.samples_filtered += 1
+            return
+        stats.samples_taken += 1
+        self._buffers[task.name].append(
+            SensorRecord(
+                device_id=self.device_id,
+                user=self.user,
+                task=task.name,
+                time=now,
+                values=dict(filtered),
+            )
+        )
+
+    def _upload(self, task: SensingTask) -> None:
+        self._flush(task.name)
+
+    def _flush(self, task_name: str) -> None:
+        """Attempt to upload the buffer; on transport loss the buffer is
+        retained and retried at the next upload tick (store-and-forward)."""
+        assert self._hive is not None
+        buffer = self._buffers.get(task_name)
+        if not buffer:
+            return
+        batch = list(buffer)
+        stats = self.stats[task_name]
+        if self._transport is None:
+            buffer.clear()
+            stats.uploads += 1
+            self._hive.receive_upload(self.device_id, self.user, task_name, batch)
+            return
+        hive = self._hive
+        delivered = self._transport.send(
+            self._sim,
+            lambda: hive.receive_upload(self.device_id, self.user, task_name, batch),
+            payload_items=len(batch),
+        )
+        if delivered:
+            buffer.clear()
+            stats.uploads += 1
+        else:
+            stats.uploads_failed += 1
+
+    # ------------------------------------------------------------------
+    # Direct reads (virtual sensors)
+    # ------------------------------------------------------------------
+
+    def read_sensor(self, sensor_name: str, time: float) -> object:
+        """One on-demand read, paying the energy cost.
+
+        Used by virtual sensors; raises if the battery is dead so the
+        scheduling strategy learns the device is unavailable.
+        """
+        if not self.battery.drain_sample((sensor_name,), time):
+            raise PlatformError(f"device {self.device_id}: battery empty")
+        return self.sensors.get(sensor_name).read(self, time, self._rng)
+
+    def is_available(self, time: float) -> bool:
+        """Whether the device could serve a read right now."""
+        return not self.battery.is_empty(time) and not self.preferences.in_quiet_hours(time)

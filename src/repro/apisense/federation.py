@@ -1,0 +1,104 @@
+"""Hive federation: syndicate tasks across communities.
+
+"One of the benefits of building a common platform like APISENSE lies in
+the federation of communities of mobile users" (paper Section 2).  A
+federation groups several Hives (e.g. one per city or per partner
+institution); a task deployed at its home Hive can be *syndicated* to
+partner Hives, whose crowds contribute to the same Honeycomb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apisense.hive import Hive
+from repro.apisense.honeycomb import Honeycomb
+from repro.apisense.tasks import SensingTask
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class SyndicationReceipt:
+    """Where a syndicated task ended up."""
+
+    task: str
+    home_hive: str
+    partner_hives: tuple[str, ...]
+    total_offers: int
+
+
+class HiveFederation:
+    """A named group of Hives that share task syndication."""
+
+    def __init__(self) -> None:
+        self._hives: dict[str, Hive] = {}
+
+    def register_hive(self, name: str, hive: Hive) -> None:
+        if name in self._hives:
+            raise PlatformError(f"hive {name!r} already federated")
+        self._hives[name] = hive
+
+    @property
+    def hive_names(self) -> list[str]:
+        return list(self._hives)
+
+    def hive(self, name: str) -> Hive:
+        if name not in self._hives:
+            raise PlatformError(f"unknown federated hive {name!r}")
+        return self._hives[name]
+
+    def total_devices(self) -> int:
+        """Community size across the whole federation."""
+        return sum(len(hive.devices) for hive in self._hives.values())
+
+    def syndicate(
+        self,
+        task: SensingTask,
+        owner: Honeycomb,
+        home: str,
+        partners: list[str] | None = None,
+        recruitment=None,
+    ) -> SyndicationReceipt:
+        """Publish ``task`` at its home Hive and every partner Hive.
+
+        All collected data routes back to the single owning Honeycomb
+        regardless of which community produced it.  ``partners`` defaults
+        to every other federated Hive.
+        """
+        if home not in self._hives:
+            raise PlatformError(f"unknown home hive {home!r}")
+        partner_names = (
+            [name for name in self._hives if name != home]
+            if partners is None
+            else list(partners)
+        )
+        for name in partner_names:
+            if name not in self._hives:
+                raise PlatformError(f"unknown partner hive {name!r}")
+            if name == home:
+                raise PlatformError("home hive listed among partners")
+
+        owner.register_task(task)
+        self._hives[home].publish_task(task, owner=owner, recruitment=recruitment)
+        for name in partner_names:
+            self._hives[name].publish_task(task, owner=owner, recruitment=recruitment)
+
+        total_offers = sum(
+            self._hives[name].stats.per_task[task.name].offers
+            for name in [home, *partner_names]
+        )
+        return SyndicationReceipt(
+            task=task.name,
+            home_hive=home,
+            partner_hives=tuple(partner_names),
+            total_offers=total_offers,
+        )
+
+    def task_stats(self, task_name: str) -> dict[str, tuple[int, int, int]]:
+        """Per-hive (offers, acceptances, records) for a syndicated task."""
+        stats: dict[str, tuple[int, int, int]] = {}
+        for name, hive in self._hives.items():
+            per_task = hive.stats.per_task.get(task_name)
+            if per_task is not None:
+                stats[name] = (per_task.offers, per_task.acceptances, per_task.records)
+        return stats

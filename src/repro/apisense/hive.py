@@ -1,0 +1,197 @@
+"""The Hive: community management, task publication, dataset routing.
+
+Sits at the centre of the architecture (paper Figure 1): Honeycombs push
+tasks to it, it offers them to eligible devices, devices stream uploads
+back, and it routes each task's data to the owning Honeycomb.  It also
+runs the incentive engine over the user community.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apisense.device import MobileDevice, SensorRecord
+from repro.apisense.incentives import (
+    IncentiveStrategy,
+    NoIncentive,
+    UserState,
+    draw_initial_motivation,
+)
+from repro.apisense.tasks import SensingTask
+from repro.errors import PlatformError
+from repro.simulation import Simulator
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apisense.honeycomb import Honeycomb
+    from repro.apisense.transport import Transport
+
+
+@dataclass
+class TaskStats:
+    """Per-task platform statistics."""
+
+    offers: int = 0
+    acceptances: int = 0
+    records: int = 0
+    uploads: int = 0
+    first_record_time: float | None = None
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.acceptances / self.offers if self.offers else 0.0
+
+
+@dataclass
+class HiveStats:
+    """Global platform statistics."""
+
+    devices_registered: int = 0
+    messages_sent: int = 0
+    tasks_published: int = 0
+    per_task: dict[str, TaskStats] = field(default_factory=dict)
+
+
+class Hive:
+    """The central crowd-sensing service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        incentive: IncentiveStrategy | None = None,
+        delivery_latency: float = 0.2,
+        transport: "Transport | None" = None,
+        seed: int = 0,
+    ):
+        from repro.apisense.transport import Transport
+
+        self._sim = sim
+        self.incentive = incentive or NoIncentive()
+        self.delivery_latency = delivery_latency
+        #: Wireless hop used for offers (downlink) and uploads (uplink).
+        self.transport = transport or Transport(
+            latency_mean=delivery_latency,
+            latency_jitter=delivery_latency * 0.2,
+            loss=0.0,
+            seed=seed,
+        )
+        self._rng = np.random.default_rng(seed)
+        self._devices: dict[str, MobileDevice] = {}
+        self.community: dict[str, UserState] = {}
+        self._tasks: dict[str, SensingTask] = {}
+        self._task_owner: dict[str, "Honeycomb"] = {}
+        self.stats = HiveStats()
+
+    # ------------------------------------------------------------------
+    # Community management
+    # ------------------------------------------------------------------
+
+    def register_device(self, device: MobileDevice) -> None:
+        """Enrol a device (and its user) into the community."""
+        if device.device_id in self._devices:
+            raise PlatformError(f"device {device.device_id!r} already registered")
+        device.bind(self._sim, self, transport=self.transport)
+        self._devices[device.device_id] = device
+        if device.user not in self.community:
+            self.community[device.user] = UserState(
+                user=device.user, motivation=draw_initial_motivation(self._rng)
+            )
+        self.stats.devices_registered += 1
+
+    @property
+    def devices(self) -> list[MobileDevice]:
+        return list(self._devices.values())
+
+    def device(self, device_id: str) -> MobileDevice:
+        if device_id not in self._devices:
+            raise PlatformError(f"unknown device {device_id!r}")
+        return self._devices[device_id]
+
+    # ------------------------------------------------------------------
+    # Task publication
+    # ------------------------------------------------------------------
+
+    def publish_task(
+        self,
+        task: SensingTask,
+        owner: "Honeycomb",
+        recruitment=None,
+    ) -> None:
+        """Publish a task: offer it to the recruited devices.
+
+        ``recruitment`` (a :class:`repro.apisense.recruitment.
+        RecruitmentPolicy`, default: everyone) selects who receives an
+        offer.  Offers are delivered over the wireless transport;
+        acceptance is decided device-side against the incentive-driven
+        probability.
+        """
+        if task.name in self._tasks:
+            raise PlatformError(f"task {task.name!r} already published")
+        self._tasks[task.name] = task
+        self._task_owner[task.name] = owner
+        self.stats.tasks_published += 1
+        stats = self.stats.per_task.setdefault(task.name, TaskStats())
+        recruited = list(self._devices.values())
+        if recruitment is not None:
+            recruited = recruitment.select(recruited, task, self._sim.now, self._rng)
+        for device in recruited:
+            state = self.community[device.user]
+            probability = self.incentive.acceptance_probability(state)
+            stats.offers += 1
+            self.stats.messages_sent += 1
+            # Lost offers are simply never delivered; the daily
+            # participation pass re-offers tasks to lapsed users.
+            self.transport.send(
+                self._sim,
+                lambda d=device, p=probability: self._deliver_offer(task, d, p),
+            )
+
+    def _deliver_offer(
+        self, task: SensingTask, device: MobileDevice, probability: float
+    ) -> None:
+        accepted = device.offer_task(task, probability)
+        if accepted:
+            self.stats.per_task[task.name].acceptances += 1
+
+    # ------------------------------------------------------------------
+    # Upload path
+    # ------------------------------------------------------------------
+
+    def receive_upload(
+        self, device_id: str, user: str, task_name: str, records: list[SensorRecord]
+    ) -> None:
+        """Accept an upload batch and route it to the owning Honeycomb."""
+        if task_name not in self._tasks:
+            raise PlatformError(f"upload for unknown task {task_name!r}")
+        stats = self.stats.per_task[task_name]
+        stats.uploads += 1
+        stats.records += len(records)
+        if stats.first_record_time is None and records:
+            stats.first_record_time = min(r.time for r in records)
+        self.stats.messages_sent += 1
+
+        state = self.community[user]
+        self.incentive.on_contribution(state, len(records))
+
+        owner = self._task_owner[task_name]
+        self._sim.schedule(
+            self.delivery_latency,
+            lambda: owner.receive_dataset(task_name, records),
+        )
+
+    # ------------------------------------------------------------------
+    # Daily bookkeeping
+    # ------------------------------------------------------------------
+
+    def end_of_day(self) -> None:
+        """Run the incentive engine's daily pass over the community."""
+        self.incentive.on_day_end(self.community)
+
+    def mean_motivation(self) -> float:
+        """Average community motivation (participation health metric)."""
+        if not self.community:
+            return 0.0
+        return sum(s.motivation for s in self.community.values()) / len(self.community)

@@ -1,0 +1,93 @@
+"""Platform health monitoring: what the Hive operator watches.
+
+Aggregates the platform's counters into one report: task progress,
+community motivation, battery health, transport quality.  The real
+APISENSE exposes this as the operator dashboard; the reproduction
+renders it as structured data + text so campaigns can be watched (and
+asserted on) mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apisense.hive import Hive
+
+
+@dataclass(frozen=True)
+class TaskHealth:
+    """Progress snapshot of one published task."""
+
+    task: str
+    offers: int
+    acceptances: int
+    records: int
+    uploads: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.acceptances / self.offers if self.offers else 0.0
+
+
+@dataclass(frozen=True)
+class PlatformHealthReport:
+    """One dashboard snapshot."""
+
+    time: float
+    devices: int
+    running_devices: int
+    mean_battery: float
+    low_battery_devices: int
+    mean_motivation: float
+    at_risk_users: int
+    transport_loss_rate: float
+    messages_sent: int
+    tasks: tuple[TaskHealth, ...] = field(default_factory=tuple)
+
+    def to_text(self) -> str:
+        lines = [
+            f"platform health @ t={self.time:.0f}s",
+            f"  devices: {self.devices} ({self.running_devices} running tasks, "
+            f"{self.low_battery_devices} low battery, "
+            f"mean battery {self.mean_battery:.2f})",
+            f"  community: motivation {self.mean_motivation:.2f} "
+            f"({self.at_risk_users} users at churn risk)",
+            f"  transport: {self.messages_sent} messages, "
+            f"{self.transport_loss_rate:.1%} loss",
+        ]
+        for task in self.tasks:
+            lines.append(
+                f"  task {task.task}: {task.records} records, "
+                f"{task.uploads} uploads, acceptance {task.acceptance_rate:.0%}"
+            )
+        return "\n".join(lines)
+
+
+def snapshot(hive: Hive, time: float, low_battery: float = 0.2, at_risk: float = 0.25) -> PlatformHealthReport:
+    """Take a health snapshot of a Hive at simulation ``time``."""
+    levels = [device.battery.level(time) for device in hive.devices]
+    motivations = [state.motivation for state in hive.community.values()]
+    tasks = tuple(
+        TaskHealth(
+            task=name,
+            offers=stats.offers,
+            acceptances=stats.acceptances,
+            records=stats.records,
+            uploads=stats.uploads,
+        )
+        for name, stats in hive.stats.per_task.items()
+    )
+    return PlatformHealthReport(
+        time=time,
+        devices=len(hive.devices),
+        running_devices=sum(1 for device in hive.devices if device.running_tasks),
+        mean_battery=float(np.mean(levels)) if levels else 0.0,
+        low_battery_devices=sum(1 for level in levels if level < low_battery),
+        mean_motivation=float(np.mean(motivations)) if motivations else 0.0,
+        at_risk_users=sum(1 for motivation in motivations if motivation < at_risk),
+        transport_loss_rate=hive.transport.stats.loss_rate,
+        messages_sent=hive.stats.messages_sent,
+        tasks=tasks,
+    )

@@ -1,0 +1,68 @@
+"""User privacy preferences — "the user keeps the control of her phone".
+
+Per the paper, the first privacy layer lives on the device: the user
+selects which sensors may be shared and when/where they may be used.
+Preferences are compiled into a :class:`~repro.apisense.filters.
+PrivacyFilterChain` by the device runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+from repro.geo.point import GeoPoint
+from repro.units import DAY
+
+
+@dataclass(frozen=True)
+class UserPreferences:
+    """What one user allows the platform to collect.
+
+    Parameters
+    ----------
+    allowed_sensors:
+        Sensors the user shares; tasks requesting anything else are
+        declined by the device, not silently filtered.
+    quiet_hours:
+        Time-of-day windows (seconds from midnight, wrapping allowed)
+        during which no sampling happens at all.
+    forbidden_zones:
+        (center, radius_m) discs — typically home surroundings — inside
+        which samples are dropped on-device.
+    blur_cell_m:
+        If > 0, GPS readings are snapped to a grid of this pitch before
+        leaving the device (location blurring).
+    """
+
+    allowed_sensors: frozenset[str] = frozenset({"gps", "battery", "network", "accelerometer"})
+    quiet_hours: tuple[tuple[float, float], ...] = ()
+    forbidden_zones: tuple[tuple[GeoPoint, float], ...] = ()
+    blur_cell_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        for start, end in self.quiet_hours:
+            if not (0 <= start < DAY and 0 <= end < DAY):
+                raise PlatformError(
+                    f"quiet hours must be within a day: ({start}, {end})"
+                )
+        for _, radius in self.forbidden_zones:
+            if radius <= 0:
+                raise PlatformError(f"forbidden zone radius must be positive: {radius}")
+        if self.blur_cell_m < 0:
+            raise PlatformError(f"blur cell must be >= 0: {self.blur_cell_m}")
+
+    def allows_sensors(self, sensors: tuple[str, ...]) -> bool:
+        """Whether every requested sensor is shareable."""
+        return set(sensors) <= self.allowed_sensors
+
+    def in_quiet_hours(self, time: float) -> bool:
+        """Whether ``time`` falls inside any quiet window."""
+        time_of_day = time % DAY
+        for start, end in self.quiet_hours:
+            if start <= end:
+                if start <= time_of_day < end:
+                    return True
+            elif time_of_day >= start or time_of_day < end:
+                return True
+        return False

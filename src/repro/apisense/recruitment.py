@@ -1,0 +1,129 @@
+"""Recruitment policies: which devices a task is offered to.
+
+"One of the benefits of building a common platform like APISENSE lies in
+the federation of communities of mobile users ... to ease their
+recruitment" (paper Section 2).  A recruitment policy filters/selects
+the community before offers go out; policies compose with ``&``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.apisense.device import MobileDevice
+from repro.apisense.tasks import SensingTask
+from repro.errors import PlatformError
+from repro.geo.bbox import BoundingBox
+
+
+class RecruitmentPolicy(ABC):
+    """Selects the subset of registered devices to offer a task to."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(
+        self,
+        devices: list[MobileDevice],
+        task: SensingTask,
+        time: float,
+        rng: np.random.Generator,
+    ) -> list[MobileDevice]:
+        """Return the devices to offer ``task`` to, order preserved."""
+
+    def __and__(self, other: "RecruitmentPolicy") -> "RecruitmentPolicy":
+        return _ComposedPolicy(self, other)
+
+
+class _ComposedPolicy(RecruitmentPolicy):
+    """Sequential composition: the second policy filters the first's pick."""
+
+    def __init__(self, first: RecruitmentPolicy, second: RecruitmentPolicy):
+        self._first = first
+        self._second = second
+        self.name = f"{first.name}&{second.name}"
+
+    def select(self, devices, task, time, rng):
+        return self._second.select(
+            self._first.select(devices, task, time, rng), task, time, rng
+        )
+
+
+class AllDevices(RecruitmentPolicy):
+    """The default: offer to the whole community."""
+
+    name = "all"
+
+    def select(self, devices, task, time, rng):
+        return list(devices)
+
+
+class RegionRecruitment(RecruitmentPolicy):
+    """Offer only to devices currently inside an area.
+
+    Uses the task's own region when ``region`` is None; with neither set
+    the policy passes everyone through.
+    """
+
+    name = "region"
+
+    def __init__(self, region: BoundingBox | None = None):
+        self.region = region
+
+    def select(self, devices, task, time, rng):
+        region = self.region if self.region is not None else task.region
+        if region is None:
+            return list(devices)
+        return [d for d in devices if region.contains(d.position(time))]
+
+
+class BatteryFloorRecruitment(RecruitmentPolicy):
+    """Skip devices below a battery level — don't drain the weak."""
+
+    name = "battery-floor"
+
+    def __init__(self, min_level: float = 0.3):
+        if not (0.0 <= min_level <= 1.0):
+            raise PlatformError(f"min_level must be in [0, 1]: {min_level}")
+        self.min_level = min_level
+
+    def select(self, devices, task, time, rng):
+        return [d for d in devices if d.battery.level(time) >= self.min_level]
+
+
+class QuotaRecruitment(RecruitmentPolicy):
+    """Uniformly sample at most ``quota`` devices.
+
+    Experiments that need a fixed panel size (or must bound incentive
+    spend) recruit a random quota instead of the whole crowd.
+    """
+
+    name = "quota"
+
+    def __init__(self, quota: int):
+        if quota < 1:
+            raise PlatformError(f"quota must be >= 1: {quota}")
+        self.quota = quota
+
+    def select(self, devices, task, time, rng):
+        if len(devices) <= self.quota:
+            return list(devices)
+        chosen = rng.choice(len(devices), size=self.quota, replace=False)
+        return [devices[int(i)] for i in sorted(chosen)]
+
+
+class SensorCapabilityRecruitment(RecruitmentPolicy):
+    """Offer only to devices that have (and whose users share) the
+    requested sensors — saves offers that would be declined anyway."""
+
+    name = "capability"
+
+    def select(self, devices, task, time, rng):
+        return [
+            d
+            for d in devices
+            if all(s in d.sensors for s in task.sensors)
+            and d.preferences.allows_sensors(task.sensors)
+        ]

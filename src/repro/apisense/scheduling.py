@@ -1,0 +1,128 @@
+"""Retrieval strategies for virtual sensors (paper Section 2).
+
+"...offer a set of additional services that self-organize a group of
+mobile devices to orchestrate the retrieval of datasets according to
+different strategies (e.g., round robin, energy-aware)."
+
+A strategy picks, among the currently available devices, which one should
+serve the next read.  Strategies are compared in experiment E6 on total
+samples served and battery fairness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.apisense.device import MobileDevice
+from repro.geo.grid import SpatialGrid
+
+
+class SchedulingStrategy(ABC):
+    """Chooses the device that serves the next virtual-sensor read."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(
+        self, devices: list[MobileDevice], time: float, rng: np.random.Generator
+    ) -> MobileDevice | None:
+        """Pick a device from the non-empty availability list."""
+
+
+class RoundRobinStrategy(SchedulingStrategy):
+    """Cycle through devices in registration order.
+
+    Fair in *request count*, blind to battery: weak devices get drained
+    at the same rate as strong ones.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(
+        self, devices: list[MobileDevice], time: float, rng: np.random.Generator
+    ) -> MobileDevice | None:
+        if not devices:
+            return None
+        device = devices[self._cursor % len(devices)]
+        self._cursor += 1
+        return device
+
+
+class EnergyAwareStrategy(SchedulingStrategy):
+    """Prefer devices with charge to spare.
+
+    Selection is randomized proportionally to ``battery_level ** alpha``;
+    higher ``alpha`` concentrates load on the fullest batteries.  The
+    randomization avoids hammering a single device when levels tie.
+    """
+
+    name = "energy-aware"
+
+    def __init__(self, alpha: float = 2.0):
+        self.alpha = alpha
+
+    def select(
+        self, devices: list[MobileDevice], time: float, rng: np.random.Generator
+    ) -> MobileDevice | None:
+        if not devices:
+            return None
+        levels = np.array([device.battery.level(time) for device in devices])
+        weights = np.power(np.maximum(levels, 1e-9), self.alpha)
+        total = weights.sum()
+        if total <= 0:
+            return None
+        return devices[int(rng.choice(len(devices), p=weights / total))]
+
+
+class CoverageGreedyStrategy(SchedulingStrategy):
+    """Maximise spatial coverage: pick a device in the stalest grid cell.
+
+    Keeps a per-cell last-served clock and selects the available device
+    whose current cell has waited longest.
+    """
+
+    name = "coverage-greedy"
+
+    def __init__(self, grid: SpatialGrid):
+        self.grid = grid
+        self._last_served: dict[tuple[int, int], float] = {}
+
+    def select(
+        self, devices: list[MobileDevice], time: float, rng: np.random.Generator
+    ) -> MobileDevice | None:
+        if not devices:
+            return None
+        best_device = None
+        best_staleness = -1.0
+        for device in devices:
+            cell = self.grid.cell_of(device.position(time))
+            staleness = time - self._last_served.get(cell, -float("inf"))
+            if staleness > best_staleness:
+                best_staleness = staleness
+                best_device = device
+        assert best_device is not None
+        self._last_served[self.grid.cell_of(best_device.position(time))] = time
+        return best_device
+
+
+class FairBudgetStrategy(SchedulingStrategy):
+    """Equalise *served sample counts* across devices (strict fairness)."""
+
+    name = "fair-budget"
+
+    def __init__(self) -> None:
+        self._served: dict[str, int] = {}
+
+    def select(
+        self, devices: list[MobileDevice], time: float, rng: np.random.Generator
+    ) -> MobileDevice | None:
+        if not devices:
+            return None
+        device = min(devices, key=lambda d: self._served.get(d.device_id, 0))
+        self._served[device.device_id] = self._served.get(device.device_id, 0) + 1
+        return device

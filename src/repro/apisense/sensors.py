@@ -1,0 +1,139 @@
+"""Sensor models backing the simulated devices.
+
+Each sensor reads the device's physical context (position, motion) from
+its mobility trajectory, plus synthetic environment state (cell towers)
+where needed.  Values include realistic measurement noise drawn from the
+device's RNG so runs stay deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.geo.distance import haversine_m
+from repro.geo.point import GeoPoint
+from repro.mobility.city import City
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apisense.device import MobileDevice
+
+
+class Sensor(ABC):
+    """One readable sensor; stateless, so a suite can be shared."""
+
+    #: Sensor name as referenced by task descriptions.
+    name: str = "abstract"
+
+    @abstractmethod
+    def read(self, device: "MobileDevice", time: float, rng: np.random.Generator) -> object:
+        """Produce one reading for ``device`` at simulation ``time``."""
+
+
+class GpsSensor(Sensor):
+    """Reports the device position as a :class:`GeoPoint`.
+
+    The mobility trajectory already includes GPS fix noise (the generator
+    adds it), so this sensor interpolates the trajectory directly.
+    """
+
+    name = "gps"
+
+    def read(self, device: "MobileDevice", time: float, rng: np.random.Generator) -> GeoPoint:
+        return device.position(time)
+
+
+class BatterySensor(Sensor):
+    """Reports the device's own battery level (free to read)."""
+
+    name = "battery"
+
+    def read(self, device: "MobileDevice", time: float, rng: np.random.Generator) -> float:
+        return device.battery.level(time)
+
+
+class NetworkQualitySensor(Sensor):
+    """Reports RSSI in dBm against a synthetic cell-tower layout.
+
+    Signal follows a log-distance path-loss model to the nearest tower
+    plus Gaussian shadowing.  This is the "network quality application"
+    workload from the paper's introduction.
+    """
+
+    name = "network"
+
+    def __init__(self, towers: tuple[GeoPoint, ...], shadowing_db: float = 4.0):
+        if not towers:
+            raise PlatformError("network sensor needs at least one tower")
+        self.towers = towers
+        self.shadowing_db = shadowing_db
+
+    def read(self, device: "MobileDevice", time: float, rng: np.random.Generator) -> float:
+        position = device.position(time)
+        distance = min(haversine_m(position, tower) for tower in self.towers)
+        distance = max(distance, 10.0)
+        # -40 dBm at 10 m, path-loss exponent 3.0.
+        rssi = -40.0 - 30.0 * math.log10(distance / 10.0)
+        rssi += float(rng.normal(0.0, self.shadowing_db))
+        return max(-120.0, min(-40.0, rssi))
+
+
+class AccelerometerSensor(Sensor):
+    """Reports an activity magnitude derived from instantaneous speed.
+
+    Real deployments use accelerometer energy to classify still/walk/
+    vehicle; the simulated equivalent exposes the same signal (speed) with
+    sensor noise, which is all the platform experiments need.
+    """
+
+    name = "accelerometer"
+
+    def __init__(self, window: float = 30.0, noise: float = 0.05):
+        self.window = window
+        self.noise = noise
+
+    def read(self, device: "MobileDevice", time: float, rng: np.random.Generator) -> float:
+        before = device.position(time - self.window / 2)
+        after = device.position(time + self.window / 2)
+        speed = haversine_m(before, after) / self.window
+        return max(0.0, speed + float(rng.normal(0.0, self.noise)))
+
+
+@dataclass(frozen=True)
+class SensorSuite:
+    """The set of sensors available on a device."""
+
+    sensors: dict[str, Sensor]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.sensors
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self.sensors)
+
+    def get(self, name: str) -> Sensor:
+        if name not in self.sensors:
+            raise PlatformError(f"device has no sensor {name!r}")
+        return self.sensors[name]
+
+
+def default_sensor_suite(city: City, rng: np.random.Generator, n_towers: int = 12) -> SensorSuite:
+    """The standard phone sensor suite against a city's tower layout."""
+    projection_box = city.bounding_box
+    lats = rng.uniform(projection_box.south, projection_box.north, size=n_towers)
+    lons = rng.uniform(projection_box.west, projection_box.east, size=n_towers)
+    towers = tuple(GeoPoint(float(lat), float(lon)) for lat, lon in zip(lats, lons))
+    sensors: dict[str, Sensor] = {}
+    for sensor in (
+        GpsSensor(),
+        BatterySensor(),
+        NetworkQualitySensor(towers),
+        AccelerometerSensor(),
+    ):
+        sensors[sensor.name] = sensor
+    return SensorSuite(sensors=sensors)

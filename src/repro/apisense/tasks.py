@@ -1,0 +1,103 @@
+"""Crowd-sensing task descriptions — the platform's "scripts".
+
+The real APISENSE describes tasks as JavaScript offloaded to phones.  The
+reproduction keeps the same contract — *a task is data plus a per-sample
+hook* — as a declarative dataclass with an optional Python callable.  The
+static validation performed here plays the role of the Honeycomb's script
+vetting step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import TaskValidationError
+from repro.geo.bbox import BoundingBox
+from repro.units import DAY
+
+#: Sensors the platform knows how to serve.
+KNOWN_SENSORS = frozenset({"gps", "battery", "network", "accelerometer"})
+
+#: Script hook signature: receives the sampled values (sensor name ->
+#: value) and returns the record to keep, or ``None`` to drop the sample.
+SampleHook = Callable[[Mapping[str, object]], Mapping[str, object] | None]
+
+
+@dataclass(frozen=True)
+class SensingTask:
+    """One deployable crowd-sensing experiment.
+
+    Parameters
+    ----------
+    name:
+        Unique task identifier.
+    sensors:
+        Sensors the task samples each tick (subset of ``KNOWN_SENSORS``).
+    sampling_period:
+        Seconds between samples on each device.
+    upload_period:
+        Seconds between buffer uploads from device to Hive.
+    start / end:
+        Campaign window in simulation seconds.
+    region:
+        Optional geographic fence; devices sample only inside it.
+    script:
+        Optional per-sample hook (the task's "script body").  Exceptions
+        raised by the hook are counted and the sample dropped — the
+        device-side runtime never lets a bad script kill collection.
+    """
+
+    name: str
+    sensors: tuple[str, ...]
+    sampling_period: float = 60.0
+    upload_period: float = 3600.0
+    start: float = 0.0
+    end: float = 7 * DAY
+    region: BoundingBox | None = None
+    script: SampleHook | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Static validation; raises :class:`TaskValidationError`."""
+        if not self.name:
+            raise TaskValidationError("task name must be non-empty")
+        if not self.sensors:
+            raise TaskValidationError(f"task {self.name!r} requests no sensors")
+        unknown = set(self.sensors) - KNOWN_SENSORS
+        if unknown:
+            raise TaskValidationError(
+                f"task {self.name!r} requests unknown sensors {sorted(unknown)}; "
+                f"known sensors: {sorted(KNOWN_SENSORS)}"
+            )
+        if len(set(self.sensors)) != len(self.sensors):
+            raise TaskValidationError(f"task {self.name!r} lists a sensor twice")
+        if self.sampling_period <= 0:
+            raise TaskValidationError(
+                f"task {self.name!r}: sampling period must be positive"
+            )
+        if self.sampling_period < 1.0:
+            raise TaskValidationError(
+                f"task {self.name!r}: sampling faster than 1 Hz would drain "
+                "batteries in hours; rejected by platform policy"
+            )
+        if self.upload_period < self.sampling_period:
+            raise TaskValidationError(
+                f"task {self.name!r}: upload period shorter than sampling period"
+            )
+        if self.end <= self.start:
+            raise TaskValidationError(
+                f"task {self.name!r}: ends ({self.end}) before it starts ({self.start})"
+            )
+        if self.script is not None and not callable(self.script):
+            raise TaskValidationError(f"task {self.name!r}: script is not callable")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def expected_samples(self) -> int:
+        """Upper bound on per-device samples over the campaign window."""
+        return int(self.duration // self.sampling_period)

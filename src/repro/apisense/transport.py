@@ -1,0 +1,84 @@
+"""Network transport model: latency, loss, and delivery statistics.
+
+The paper's platform runs over real mobile networks; the simulation's
+equivalent is a lossy, jittery message hop.  Devices use store-and-
+forward (the buffer survives a lost upload and is retried on the next
+upload tick), so loss costs freshness, not data — matching the real
+APISENSE client's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.simulation import Simulator
+
+
+@dataclass
+class TransportStats:
+    """Counters of one transport endpoint."""
+
+    messages_sent: int = 0
+    messages_lost: int = 0
+    payload_items: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        if self.messages_sent == 0:
+            return 0.0
+        return self.messages_lost / self.messages_sent
+
+
+class Transport:
+    """A one-way message channel with latency jitter and random loss.
+
+    Parameters
+    ----------
+    latency_mean / latency_jitter:
+        Delivery delay is ``max(1 ms, Normal(mean, jitter))`` seconds.
+    loss:
+        Probability that a message is dropped entirely (the sender can
+        observe the failure, modelling a failed TCP connect / timeout).
+    """
+
+    def __init__(
+        self,
+        latency_mean: float = 0.15,
+        latency_jitter: float = 0.05,
+        loss: float = 0.0,
+        seed: int = 0,
+    ):
+        if latency_mean < 0 or latency_jitter < 0:
+            raise PlatformError("latency parameters must be non-negative")
+        if not (0.0 <= loss < 1.0):
+            raise PlatformError(f"loss must be in [0, 1): {loss}")
+        self.latency_mean = latency_mean
+        self.latency_jitter = latency_jitter
+        self.loss = loss
+        self._rng = np.random.default_rng(seed)
+        self.stats = TransportStats()
+
+    def send(
+        self,
+        sim: Simulator,
+        deliver: Callable[[], None],
+        payload_items: int = 1,
+    ) -> bool:
+        """Attempt delivery; returns False when the message was lost.
+
+        On success ``deliver`` fires after the sampled latency.  The
+        boolean return models the sender-visible transport outcome so
+        callers can implement retry policies.
+        """
+        self.stats.messages_sent += 1
+        self.stats.payload_items += payload_items
+        if self.loss > 0.0 and self._rng.uniform() < self.loss:
+            self.stats.messages_lost += 1
+            return False
+        delay = max(0.001, float(self._rng.normal(self.latency_mean, self.latency_jitter)))
+        sim.schedule(delay, deliver)
+        return True

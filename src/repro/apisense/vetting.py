@@ -1,0 +1,95 @@
+"""Task script vetting: dry-run a task before offering it to the crowd.
+
+The real APISENSE vets uploaded JavaScript before offloading it onto
+phones.  The reproduction's equivalent exercises the task's script hook
+against synthetic sensor values *on the Honeycomb*, so a crashing or
+over-aggressive script is caught before it wastes a single device's
+battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apisense.tasks import SensingTask
+from repro.geo.point import GeoPoint
+
+
+@dataclass
+class DryRunReport:
+    """Outcome of vetting one task."""
+
+    task: str
+    samples: int
+    errors: int = 0
+    dropped: int = 0
+    error_messages: list[str] = field(default_factory=list)
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.samples if self.samples else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.samples if self.samples else 0.0
+
+    def acceptable(self, max_error_rate: float = 0.01, max_drop_rate: float = 0.95) -> bool:
+        """Platform policy: scripts may filter but not crash or drop all.
+
+        A script erroring on more than ``max_error_rate`` of samples is
+        buggy; one dropping more than ``max_drop_rate`` would waste the
+        crowd's battery for almost no data.
+        """
+        return self.error_rate <= max_error_rate and self.drop_rate <= max_drop_rate
+
+
+def _synthetic_values(
+    sensors: tuple[str, ...], rng: np.random.Generator
+) -> dict[str, object]:
+    """One plausible sample for each requested sensor."""
+    values: dict[str, object] = {}
+    for sensor in sensors:
+        if sensor == "gps":
+            values["gps"] = GeoPoint(
+                44.8 + float(rng.uniform(-0.05, 0.05)),
+                -0.58 + float(rng.uniform(-0.05, 0.05)),
+            )
+        elif sensor == "battery":
+            values["battery"] = float(rng.uniform(0.0, 1.0))
+        elif sensor == "network":
+            values["network"] = float(rng.uniform(-120.0, -40.0))
+        elif sensor == "accelerometer":
+            values["accelerometer"] = float(abs(rng.normal(0.0, 5.0)))
+        else:  # future sensors: hand the script *something*
+            values[sensor] = float(rng.uniform(0.0, 1.0))
+    return values
+
+
+def dry_run_task(task: SensingTask, n_samples: int = 200, seed: int = 0) -> DryRunReport:
+    """Vet a task's script against ``n_samples`` synthetic samples.
+
+    Tasks without a script trivially pass (the runtime itself is
+    trusted); tasks with one are exercised across the sensor value
+    space.  Error messages are deduplicated and capped at ten.
+    """
+    report = DryRunReport(task=task.name, samples=n_samples)
+    if task.script is None:
+        return report
+    rng = np.random.default_rng(seed)
+    seen_errors: set[str] = set()
+    for _ in range(n_samples):
+        values = _synthetic_values(task.sensors, rng)
+        try:
+            result = task.script(values)
+        except Exception as error:  # noqa: BLE001 - vetting catches anything
+            report.errors += 1
+            message = f"{type(error).__name__}: {error}"
+            if message not in seen_errors and len(report.error_messages) < 10:
+                seen_errors.add(message)
+                report.error_messages.append(message)
+            continue
+        if result is None:
+            report.dropped += 1
+    return report

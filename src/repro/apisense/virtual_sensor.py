@@ -1,0 +1,99 @@
+"""Virtual sensors: device groups behind a scheduling strategy.
+
+"The APISENSE platform also implements the concept of virtual sensors as
+a mean to abstract the individual devices" (paper Section 2).  A virtual
+sensor answers reads like a single device would, internally delegating
+each read to one member device chosen by its strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apisense.device import MobileDevice
+from repro.apisense.scheduling import SchedulingStrategy
+from repro.errors import PlatformError
+from repro.simulation import Simulator
+
+
+@dataclass
+class VirtualSensorStats:
+    """Observable counters of one virtual sensor."""
+
+    reads_requested: int = 0
+    reads_served: int = 0
+    reads_unavailable: int = 0
+    served_per_device: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        if self.reads_requested == 0:
+            return 0.0
+        return self.reads_served / self.reads_requested
+
+
+class VirtualSensor:
+    """A group of devices exposed as one logical sensor."""
+
+    def __init__(
+        self,
+        name: str,
+        sensor_name: str,
+        devices: list[MobileDevice],
+        strategy: SchedulingStrategy,
+        sim: Simulator,
+        seed: int = 0,
+    ):
+        if not devices:
+            raise PlatformError(f"virtual sensor {name!r} needs at least one device")
+        if any(sensor_name not in device.sensors for device in devices):
+            raise PlatformError(
+                f"virtual sensor {name!r}: every member must have sensor {sensor_name!r}"
+            )
+        self.name = name
+        self.sensor_name = sensor_name
+        self._devices = devices
+        self.strategy = strategy
+        self._sim = sim
+        self._rng = np.random.default_rng(seed)
+        self.stats = VirtualSensorStats()
+
+    def read(self) -> tuple[str, object] | None:
+        """One orchestrated read: (serving device id, value) or None.
+
+        ``None`` means no member device was available (all batteries
+        dead or users in quiet hours) — the availability gap energy-aware
+        scheduling is designed to shrink.
+        """
+        now = self._sim.now
+        self.stats.reads_requested += 1
+        available = [device for device in self._devices if device.is_available(now)]
+        device = self.strategy.select(available, now, self._rng)
+        if device is None:
+            self.stats.reads_unavailable += 1
+            return None
+        try:
+            value = device.read_sensor(self.sensor_name, now)
+        except PlatformError:
+            self.stats.reads_unavailable += 1
+            return None
+        self.stats.reads_served += 1
+        counts = self.stats.served_per_device
+        counts[device.device_id] = counts.get(device.device_id, 0) + 1
+        return (device.device_id, value)
+
+    def battery_levels(self) -> dict[str, float]:
+        """Current battery level of every member device."""
+        now = self._sim.now
+        return {
+            device.device_id: device.battery.level(now) for device in self._devices
+        }
+
+    def battery_fairness(self) -> float:
+        """Jain's fairness index over member battery levels (1 = equal)."""
+        levels = np.array(list(self.battery_levels().values()))
+        if levels.size == 0 or levels.sum() == 0:
+            return 0.0
+        return float(levels.sum() ** 2 / (levels.size * (levels**2).sum()))

@@ -1,0 +1,51 @@
+"""PRIVAPI: the privacy-preserving publication middleware (paper Section 3).
+
+PRIVAPI sits between the platform's collected mobility data and its
+public release.  Its design points, straight from the paper:
+
+- it *"leverages the global knowledge of the whole system to apply an
+  optimal anonymization strategy"* — implemented as an empirical audit:
+  every registered mechanism is applied to the dataset, attacked with the
+  standard POI pipeline, and scored against the requested utility
+  objective;
+- *"there is not one unique anonymization strategy that always performs
+  well but many from which we can choose the one that fits the best to
+  the usage that will be done with the anonymized dataset"* — the
+  registry + objective-driven selection;
+- a *"minimum level of privacy must be enforced, as parametrized by the
+  users and/or the platform owner"* — the :class:`PrivacyRequirement`
+  constraint every candidate must satisfy before utility is even
+  considered.
+"""
+
+from repro.core.requirements import (
+    CrowdedPlacesObjective,
+    DistortionObjective,
+    OdFlowObjective,
+    PrivacyRequirement,
+    TrafficFlowObjective,
+    UtilityObjective,
+)
+from repro.core.report import MechanismEvaluation, PublicationReport
+from repro.core.privapi import PrivApi, PublicationResult, default_registry
+from repro.core.tuning import ParameterSearch, TuningResult, tune_mechanism
+from repro.core.pipeline import ContinuousPublisher, EpochRecord
+
+__all__ = [
+    "ParameterSearch",
+    "TuningResult",
+    "tune_mechanism",
+    "ContinuousPublisher",
+    "EpochRecord",
+    "PrivacyRequirement",
+    "UtilityObjective",
+    "CrowdedPlacesObjective",
+    "TrafficFlowObjective",
+    "OdFlowObjective",
+    "DistortionObjective",
+    "MechanismEvaluation",
+    "PublicationReport",
+    "PrivApi",
+    "PublicationResult",
+    "default_registry",
+]

@@ -1,0 +1,148 @@
+"""Privacy requirements and utility objectives for publication."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import PrivacyRequirementError
+from repro.geo.grid import SpatialGrid
+from repro.mobility.dataset import MobilityDataset
+from repro.privacy.metrics import dataset_distortion_m
+from repro.utility.heatmap import footfall_density, hotspot_f1
+from repro.utility.od_matrix import od_matrix, od_similarity
+from repro.utility.traffic import flow_correlation, transit_counts
+
+
+@dataclass(frozen=True)
+class PrivacyRequirement:
+    """The minimum privacy bar a release must clear.
+
+    Parameters
+    ----------
+    max_poi_recall:
+        Highest tolerable fraction of sensitive places (POIs found in the
+        *raw* data — PRIVAPI's global knowledge) that the reference
+        attacker may recover from the protected release.
+    max_reidentification:
+        Highest tolerable linkage rate of the reference re-identification
+        attacker; ``None`` skips that (slower) audit.
+    attack_radius_m:
+        Match radius used when checking recovered POIs against sensitive
+        places.
+    attacker_denoise_window:
+        Strength of the audit attacker's median filter; odd, 1 = off.
+        Auditing against a denoising attacker is what makes the bar
+        honest for perturbation mechanisms.
+    """
+
+    max_poi_recall: float = 0.2
+    max_reidentification: float | None = None
+    attack_radius_m: float = 250.0
+    attacker_denoise_window: int = 9
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.max_poi_recall <= 1.0):
+            raise PrivacyRequirementError(
+                f"max_poi_recall must be in [0, 1]: {self.max_poi_recall}"
+            )
+        if self.max_reidentification is not None and not (
+            0.0 <= self.max_reidentification <= 1.0
+        ):
+            raise PrivacyRequirementError(
+                f"max_reidentification must be in [0, 1]: {self.max_reidentification}"
+            )
+        if self.attack_radius_m <= 0:
+            raise PrivacyRequirementError(
+                f"attack_radius_m must be positive: {self.attack_radius_m}"
+            )
+        if self.attacker_denoise_window < 1 or self.attacker_denoise_window % 2 == 0:
+            raise PrivacyRequirementError(
+                f"attacker_denoise_window must be odd >= 1: {self.attacker_denoise_window}"
+            )
+
+
+class UtilityObjective(ABC):
+    """Scores a protected release against the raw dataset; higher wins."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def score(self, raw: MobilityDataset, protected: MobilityDataset) -> float:
+        """Utility in [0, 1] of publishing ``protected`` instead of ``raw``."""
+
+
+@dataclass(frozen=True)
+class CrowdedPlacesObjective(UtilityObjective):
+    """"Finding out crowded places": footfall hotspot agreement."""
+
+    cell_size_m: float = 500.0
+    top_k: int = 15
+    time_step: float = 120.0
+
+    name = "crowded-places"
+
+    def score(self, raw: MobilityDataset, protected: MobilityDataset) -> float:
+        grid = SpatialGrid(raw.bounding_box.expanded(0.005), self.cell_size_m)
+        raw_density = footfall_density(raw, grid, self.time_step)
+        protected_density = footfall_density(protected, grid, self.time_step)
+        return hotspot_f1(raw_density, protected_density, self.top_k)
+
+
+@dataclass(frozen=True)
+class TrafficFlowObjective(UtilityObjective):
+    """"Predicting traffic": spatial transit-flow agreement."""
+
+    cell_size_m: float = 500.0
+    time_step: float = 120.0
+
+    name = "traffic-flow"
+
+    def score(self, raw: MobilityDataset, protected: MobilityDataset) -> float:
+        grid = SpatialGrid(raw.bounding_box.expanded(0.005), self.cell_size_m)
+        raw_flow = transit_counts(raw, grid, self.time_step).reshape(-1, 1)
+        protected_flow = transit_counts(protected, grid, self.time_step).reshape(-1, 1)
+        return max(0.0, flow_correlation(raw_flow, protected_flow))
+
+
+@dataclass(frozen=True)
+class OdFlowObjective(UtilityObjective):
+    """Origin-destination trip flows at planner-zone granularity.
+
+    OD analysis is stop-based, so this objective *disfavours* speed
+    smoothing (which erases stops) and favours generalization
+    mechanisms — the registry member that wins flips with the analyst's
+    task, which is PRIVAPI's core thesis.
+    """
+
+    cell_size_m: float = 2000.0
+
+    name = "od-flows"
+
+    def score(self, raw: MobilityDataset, protected: MobilityDataset) -> float:
+        grid = SpatialGrid(raw.bounding_box.expanded(0.005), self.cell_size_m)
+        raw_od = od_matrix(raw, grid)
+        protected_od = od_matrix(protected, grid)
+        return max(0.0, od_similarity(raw_od, protected_od))
+
+
+@dataclass(frozen=True)
+class DistortionObjective(UtilityObjective):
+    """Generic objective: keep published positions close to reality.
+
+    Maps mean spatial distortion ``d`` to a [0, 1] score via
+    ``scale / (scale + d)`` so 0 m of distortion scores 1 and ``scale``
+    metres scores 0.5.
+    """
+
+    scale_m: float = 200.0
+
+    name = "distortion"
+
+    def score(self, raw: MobilityDataset, protected: MobilityDataset) -> float:
+        if len(protected) == 0:
+            return 0.0
+        distortion = dataset_distortion_m(raw, protected)
+        if distortion == float("inf"):
+            return 0.0
+        return self.scale_m / (self.scale_m + distortion)

@@ -1,0 +1,89 @@
+"""Parameter tuning: find the best-utility parameter that meets the bar.
+
+The paper's PRIVAPI applies "an *optimal* anonymization strategy".  The
+registry audit picks among fixed candidates; this module refines that by
+searching a mechanism's parameter space — e.g. the smallest smoothing
+step (best spatial resolution) whose audit still clears the privacy
+requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.report import MechanismEvaluation
+from repro.core.requirements import PrivacyRequirement, UtilityObjective
+from repro.errors import PrivacyRequirementError
+from repro.mobility.dataset import MobilityDataset
+from repro.privacy.mechanisms.base import LocationPrivacyMechanism
+
+
+@dataclass(frozen=True)
+class ParameterSearch:
+    """A one-dimensional mechanism family to search.
+
+    ``factory`` builds the mechanism from a parameter value; ``values``
+    is the (ordered) candidate grid.
+    """
+
+    name: str
+    factory: Callable[[float], LocationPrivacyMechanism]
+    values: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise PrivacyRequirementError(f"search {self.name!r} has no values")
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a parameter search."""
+
+    search: ParameterSearch
+    best_value: float | None
+    best_mechanism: LocationPrivacyMechanism | None
+    evaluations: dict[float, MechanismEvaluation]
+
+    @property
+    def satisfied(self) -> bool:
+        return self.best_value is not None
+
+
+def tune_mechanism(
+    privapi,
+    search: ParameterSearch,
+    dataset: MobilityDataset,
+    requirement: PrivacyRequirement,
+    objective: UtilityObjective,
+) -> TuningResult:
+    """Audit every value of ``search`` and keep the best compliant one.
+
+    "Best" = highest utility among parameter values whose audit satisfies
+    the privacy requirement.  All evaluations are returned so callers can
+    plot the privacy/utility frontier.
+
+    ``privapi`` is a :class:`repro.core.privapi.PrivApi` (passed in, not
+    imported, to avoid a circular dependency).
+    """
+    sensitive = privapi.sensitive_places(dataset, requirement)
+    evaluations: dict[float, MechanismEvaluation] = {}
+    best_value: float | None = None
+    best_mechanism: LocationPrivacyMechanism | None = None
+    best_utility = -1.0
+    for value in search.values:
+        mechanism = search.factory(value)
+        evaluation = privapi.audit_mechanism(
+            mechanism, dataset, requirement, objective, sensitive
+        )
+        evaluations[value] = evaluation
+        if evaluation.satisfies_privacy and evaluation.utility > best_utility:
+            best_value = value
+            best_mechanism = mechanism
+            best_utility = evaluation.utility
+    return TuningResult(
+        search=search,
+        best_value=best_value,
+        best_mechanism=best_mechanism,
+        evaluations=evaluations,
+    )

@@ -1,0 +1,59 @@
+"""Secure aggregation substrate.
+
+Crowd-sensing campaigns often only need *aggregates* (mean network
+quality per cell, histogram of noise levels...).  This package lets the
+platform compute those without the Hive ever seeing individual readings:
+
+- :mod:`repro.crypto.primes` / :mod:`repro.crypto.paillier` — a
+  from-scratch Paillier cryptosystem (the offline stand-in for the ``phe``
+  library);
+- :mod:`repro.crypto.encoding` — fixed-point encoding of signed floats
+  into the Paillier plaintext space;
+- :mod:`repro.crypto.secure_sum` — the aggregator-oblivious sum / mean /
+  histogram protocol;
+- :mod:`repro.crypto.masking` — a Paillier-free alternative based on
+  pairwise additive masks, for devices too weak for public-key crypto.
+"""
+
+from repro.crypto.paillier import (
+    PaillierCiphertext,
+    PaillierKeyPair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+from repro.crypto.encoding import FixedPointCodec
+from repro.crypto.secure_sum import (
+    AggregationQuery,
+    DeviceContributor,
+    ObliviousAggregator,
+    QueryCoordinator,
+)
+from repro.crypto.masking import MaskedAggregation, MaskingParticipant
+from repro.crypto.shamir import Share, reconstruct_secret, split_secret
+from repro.crypto.resilient_masking import (
+    MaskingDealer,
+    ResilientAggregation,
+    ResilientParticipant,
+)
+
+__all__ = [
+    "Share",
+    "split_secret",
+    "reconstruct_secret",
+    "MaskingDealer",
+    "ResilientAggregation",
+    "ResilientParticipant",
+    "PaillierCiphertext",
+    "PaillierKeyPair",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "generate_keypair",
+    "FixedPointCodec",
+    "AggregationQuery",
+    "DeviceContributor",
+    "ObliviousAggregator",
+    "QueryCoordinator",
+    "MaskedAggregation",
+    "MaskingParticipant",
+]

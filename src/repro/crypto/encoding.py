@@ -1,0 +1,47 @@
+"""Fixed-point encoding of floats into the Paillier plaintext space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class FixedPointCodec:
+    """Encodes signed floats as scaled integers.
+
+    Sensor readings are floats (dB, degrees, m/s); Paillier works on
+    integers.  The codec multiplies by ``10**decimals`` and rounds.  Sums
+    of encoded values decode with :meth:`decode_sum` (same scale), and the
+    mean of ``k`` readings is ``decode_sum(total) / k``.
+    """
+
+    decimals: int = 3
+
+    def __post_init__(self) -> None:
+        if self.decimals < 0:
+            raise CryptoError(f"decimals must be >= 0: {self.decimals}")
+
+    @property
+    def scale(self) -> int:
+        return 10**self.decimals
+
+    def encode(self, value: float) -> int:
+        """Float -> scaled integer (round half away from zero avoided by
+        banker's rounding, which is unbiased across a population)."""
+        return round(value * self.scale)
+
+    def decode(self, encoded: int) -> float:
+        """Scaled integer -> float."""
+        return encoded / self.scale
+
+    def decode_sum(self, encoded_sum: int) -> float:
+        """Decode a homomorphic *sum* of encoded values (same scale)."""
+        return encoded_sum / self.scale
+
+    def decode_mean(self, encoded_sum: int, count: int) -> float:
+        """Decode a homomorphic sum into the mean of ``count`` readings."""
+        if count <= 0:
+            raise CryptoError(f"count must be positive: {count}")
+        return encoded_sum / (self.scale * count)

@@ -1,0 +1,109 @@
+"""Pairwise additive-masking aggregation (Paillier-free alternative).
+
+Each pair of participants (i, j) derives a shared mask stream from a
+pairwise seed; participant ``i`` *adds* the mask and ``j`` *subtracts* it,
+so every mask cancels in the sum.  The aggregator sees only uniformly
+masked values.  This is the classic construction behind practical secure
+aggregation (e.g. Bonawitz et al., CCS'17) stripped of the dropout
+recovery machinery: the ablation benchmark (E8) compares its cost against
+Paillier to show why a deployment might pick either.
+
+Arithmetic is in Z_MODULUS with fixed-point encoding, matching the
+Paillier pipeline so results are directly comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.encoding import FixedPointCodec
+from repro.errors import ProtocolError
+
+#: All masked arithmetic happens modulo this 128-bit prime-free power of
+#: two; large enough that realistic sums never wrap.
+MODULUS = 1 << 128
+
+
+def _pairwise_mask(seed: bytes, i: int, j: int, round_id: int) -> int:
+    """Deterministic mask shared by participants ``i < j`` for a round."""
+    material = seed + i.to_bytes(4, "big") + j.to_bytes(4, "big") + round_id.to_bytes(8, "big")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:16], "big") % MODULUS
+
+
+@dataclass(frozen=True)
+class MaskingParticipant:
+    """One device in the masking protocol.
+
+    ``index`` identifies the participant among ``n_participants``;
+    ``group_seed`` is the secret shared by the group (distributed out of
+    band — e.g. during task enrolment).
+    """
+
+    index: int
+    n_participants: int
+    group_seed: bytes
+    codec: FixedPointCodec = FixedPointCodec()
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.index < self.n_participants):
+            raise ProtocolError(
+                f"index {self.index} out of range for {self.n_participants} participants"
+            )
+        if self.n_participants < 2:
+            raise ProtocolError("masking needs at least two participants")
+
+    def masked_value(self, value: float, round_id: int = 0) -> int:
+        """The reading, fixed-point encoded and blinded with all pairwise
+        masks for this round."""
+        total = self.codec.encode(value) % MODULUS
+        for other in range(self.n_participants):
+            if other == self.index:
+                continue
+            i, j = min(self.index, other), max(self.index, other)
+            mask = _pairwise_mask(self.group_seed, i, j, round_id)
+            if self.index == i:
+                total = (total + mask) % MODULUS
+            else:
+                total = (total - mask) % MODULUS
+        return total
+
+
+class MaskedAggregation:
+    """Aggregator for one round of the masking protocol.
+
+    All ``n_participants`` must report for the masks to cancel; a missing
+    participant leaves its masks dangling and the decoded total garbage.
+    (Dropout-resilient variants exist; see module docstring.)
+    """
+
+    def __init__(self, n_participants: int, codec: FixedPointCodec | None = None):
+        if n_participants < 2:
+            raise ProtocolError("masking needs at least two participants")
+        self.n_participants = n_participants
+        self.codec = codec or FixedPointCodec()
+        self._total = 0
+        self._received = 0
+
+    def accept(self, masked: int) -> None:
+        if self._received >= self.n_participants:
+            raise ProtocolError("all participants already reported")
+        self._total = (self._total + masked) % MODULUS
+        self._received += 1
+
+    def result_sum(self) -> float:
+        """Decode the sum once every participant has reported."""
+        if self._received != self.n_participants:
+            raise ProtocolError(
+                f"only {self._received}/{self.n_participants} participants "
+                "reported; masks do not cancel"
+            )
+        total = self._total
+        if total > MODULUS // 2:  # negative sums wrap around
+            total -= MODULUS
+        return self.codec.decode_sum(total)
+
+    def result_mean(self) -> float:
+        """Decode the mean once every participant has reported."""
+        return self.result_sum() / self.n_participants

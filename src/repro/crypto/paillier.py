@@ -1,0 +1,185 @@
+"""The Paillier additively-homomorphic cryptosystem, from scratch.
+
+Implements the classic scheme (Paillier, EUROCRYPT'99) with the standard
+``g = n + 1`` optimisation:
+
+- ``Enc(m, r) = (1 + m*n) * r^n  mod n^2``
+- ``Dec(c)    = L(c^lambda mod n^2) * mu  mod n`` where ``L(x) = (x-1)/n``
+- ``Enc(a) * Enc(b) = Enc(a + b)`` and ``Enc(a)^k = Enc(a*k)``
+
+The homomorphic sum is what makes the crowd-sensing aggregation protocol
+(:mod:`repro.crypto.secure_sum`) possible: the Hive multiplies ciphertexts
+it cannot read, and only the query owner decrypts the total.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.primes import random_coprime, random_prime
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public key: the modulus ``n`` (``g = n + 1`` is implicit)."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def max_plaintext(self) -> int:
+        """Largest representable non-negative plaintext (inclusive).
+
+        Plaintexts live in Z_n; we reserve the upper half for negative
+        values (two's-complement-style), so user data must fit in
+        ``[-(n//3), n//3]`` to leave headroom for homomorphic sums.
+        """
+        return self.n // 3
+
+    def encrypt(
+        self, plaintext: int, rng: random.Random | None = None
+    ) -> "PaillierCiphertext":
+        """Encrypt a signed integer plaintext.
+
+        Negative values are mapped to ``n + m``; :meth:`PaillierPrivateKey.
+        decrypt` maps them back.  ``rng`` makes encryption deterministic
+        for tests; by default a fresh system RNG is used.
+        """
+        n = self.n
+        if abs(plaintext) > self.max_plaintext:
+            raise CryptoError(
+                f"plaintext {plaintext} exceeds +/-{self.max_plaintext}"
+            )
+        m = plaintext % n
+        rng = rng or random.SystemRandom()
+        r = random_coprime(n, rng)
+        n_sq = self.n_squared
+        c = ((1 + m * n) % n_sq) * pow(r, n, n_sq) % n_sq
+        return PaillierCiphertext(public_key=self, value=c)
+
+    def encrypt_zero(self, rng: random.Random | None = None) -> "PaillierCiphertext":
+        """A fresh encryption of zero (used for re-randomization)."""
+        return self.encrypt(0, rng)
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private key: Carmichael ``lambda`` and precomputed ``mu``."""
+
+    public_key: PaillierPublicKey
+    lam: int
+    mu: int
+
+    def decrypt(self, ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt to a signed integer."""
+        if ciphertext.public_key.n != self.public_key.n:
+            raise CryptoError("ciphertext was encrypted under a different key")
+        n = self.public_key.n
+        n_sq = self.public_key.n_squared
+        x = pow(ciphertext.value, self.lam, n_sq)
+        plaintext = ((x - 1) // n) * self.mu % n
+        if plaintext > n // 2:
+            plaintext -= n
+        return plaintext
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    """A public/private key pair."""
+
+    public_key: PaillierPublicKey
+    private_key: PaillierPrivateKey
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    """An encrypted integer supporting the additive homomorphism.
+
+    ``+`` combines two ciphertexts (or a ciphertext and a plaintext int);
+    ``*`` scales by a plaintext int.  Both return new ciphertexts.
+    """
+
+    public_key: PaillierPublicKey
+    value: int
+
+    def __add__(self, other: "PaillierCiphertext | int") -> "PaillierCiphertext":
+        n_sq = self.public_key.n_squared
+        if isinstance(other, PaillierCiphertext):
+            if other.public_key.n != self.public_key.n:
+                raise CryptoError("cannot add ciphertexts under different keys")
+            return PaillierCiphertext(self.public_key, self.value * other.value % n_sq)
+        if isinstance(other, int):
+            n = self.public_key.n
+            # Enc(m) * g^k = Enc(m + k); g^k = (1 + k*n) mod n^2.
+            factor = (1 + (other % n) * n) % n_sq
+            return PaillierCiphertext(self.public_key, self.value * factor % n_sq)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar: int) -> "PaillierCiphertext":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        n = self.public_key.n
+        return PaillierCiphertext(
+            self.public_key,
+            pow(self.value, scalar % n, self.public_key.n_squared),
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "PaillierCiphertext":
+        return self * -1
+
+    def __sub__(self, other: "PaillierCiphertext | int") -> "PaillierCiphertext":
+        if isinstance(other, PaillierCiphertext):
+            return self + (-other)
+        if isinstance(other, int):
+            return self + (-other)
+        return NotImplemented
+
+    def rerandomized(self, rng: random.Random | None = None) -> "PaillierCiphertext":
+        """Same plaintext, fresh randomness (unlinkable ciphertext)."""
+        return self + self.public_key.encrypt_zero(rng)
+
+
+def generate_keypair(bits: int = 1024, rng: random.Random | None = None) -> PaillierKeyPair:
+    """Generate a Paillier key pair with an ``bits``-bit modulus.
+
+    ``bits`` >= 2048 is the modern recommendation; tests and benchmarks
+    use smaller keys (256-1024) to stay fast, which changes performance
+    but not behaviour.  Pass a seeded ``random.Random`` for reproducible
+    keys (tests only — never in production).
+    """
+    if bits < 64:
+        raise CryptoError(f"modulus of {bits} bits is too small to function")
+    rng = rng or random.SystemRandom()
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() == bits:
+            break
+    lam = (p - 1) * (q - 1) // _gcd(p - 1, q - 1)  # lcm(p-1, q-1)
+    n_sq = n * n
+    public = PaillierPublicKey(n=n)
+    # mu = (L(g^lambda mod n^2))^-1 mod n; with g = n+1, L(g^lam) = lam mod n.
+    x = pow(n + 1, lam, n_sq)
+    l_value = (x - 1) // n
+    mu = pow(l_value, -1, n)
+    private = PaillierPrivateKey(public_key=public, lam=lam, mu=mu)
+    return PaillierKeyPair(public_key=public, private_key=private)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

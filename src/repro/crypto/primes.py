@@ -1,0 +1,72 @@
+"""Probabilistic prime generation for Paillier key material."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CryptoError
+
+#: Small primes for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+]
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller-Rabin primality test with ``rounds`` random witnesses.
+
+    The error probability is at most 4^-rounds; 40 rounds is the
+    conventional "cryptographically negligible" setting.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random()
+    # write n - 1 = d * 2^s with d odd
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """A random prime of exactly ``bits`` bits.
+
+    Deterministic given ``rng``'s state, which keeps key generation
+    reproducible in tests and benchmarks.
+    """
+    if bits < 8:
+        raise CryptoError(f"refusing to generate a {bits}-bit prime (< 8 bits)")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # exact bit length, odd
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def random_coprime(n: int, rng: random.Random) -> int:
+    """A uniform element of Z_n* (invertible mod n)."""
+    import math
+
+    while True:
+        candidate = rng.randrange(1, n)
+        if math.gcd(candidate, n) == 1:
+            return candidate

@@ -1,0 +1,195 @@
+"""Aggregator-oblivious sum / mean / histogram protocol.
+
+Three roles, matching the platform architecture:
+
+- :class:`QueryCoordinator` (Honeycomb side): owns the Paillier key pair,
+  opens an :class:`AggregationQuery`, and is the only party able to
+  decrypt — and only the *aggregate*.
+- :class:`DeviceContributor` (mobile side): encrypts one reading (or a
+  one-hot histogram vector) under the coordinator's public key.
+- :class:`ObliviousAggregator` (Hive side): accumulates ciphertexts with
+  the homomorphic sum.  It routes and aggregates without learning any
+  individual value, which removes the platform operator from the trust
+  boundary — the practical deployment concern of the paper's title.
+
+The protocol is semi-honest: parties follow the messages but may try to
+read what passes through them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.encoding import FixedPointCodec
+from repro.crypto.paillier import (
+    PaillierCiphertext,
+    PaillierKeyPair,
+    PaillierPublicKey,
+    generate_keypair,
+)
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class AggregationQuery:
+    """A published aggregation request.
+
+    ``bins`` is None for scalar sum/mean queries; for histogram queries
+    it is the list of bin labels devices one-hot encode into.
+    """
+
+    query_id: str
+    public_key: PaillierPublicKey
+    codec: FixedPointCodec
+    bins: tuple[str, ...] | None = None
+
+    @property
+    def is_histogram(self) -> bool:
+        return self.bins is not None
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One device's encrypted contribution to a query."""
+
+    query_id: str
+    ciphertexts: tuple[PaillierCiphertext, ...]
+
+
+class QueryCoordinator:
+    """The query owner: generates keys, opens queries, decrypts results."""
+
+    def __init__(self, key_bits: int = 512, rng: random.Random | None = None):
+        self._rng = rng or random.SystemRandom()
+        self._keys: PaillierKeyPair = generate_keypair(key_bits, self._rng)
+        self._queries: dict[str, AggregationQuery] = {}
+
+    def open_query(
+        self,
+        query_id: str,
+        codec: FixedPointCodec | None = None,
+        bins: list[str] | None = None,
+    ) -> AggregationQuery:
+        """Open a new aggregation query and return its public description."""
+        if query_id in self._queries:
+            raise ProtocolError(f"query {query_id!r} already open")
+        query = AggregationQuery(
+            query_id=query_id,
+            public_key=self._keys.public_key,
+            codec=codec or FixedPointCodec(),
+            bins=tuple(bins) if bins is not None else None,
+        )
+        self._queries[query_id] = query
+        return query
+
+    def decrypt_sum(self, query: AggregationQuery, total: PaillierCiphertext) -> float:
+        """Decrypt a scalar aggregate into the sum of readings."""
+        if query.is_histogram:
+            raise ProtocolError("use decrypt_histogram for histogram queries")
+        return query.codec.decode_sum(self._keys.private_key.decrypt(total))
+
+    def decrypt_mean(
+        self, query: AggregationQuery, total: PaillierCiphertext, count: int
+    ) -> float:
+        """Decrypt a scalar aggregate into the mean of ``count`` readings."""
+        if query.is_histogram:
+            raise ProtocolError("use decrypt_histogram for histogram queries")
+        return query.codec.decode_mean(self._keys.private_key.decrypt(total), count)
+
+    def decrypt_histogram(
+        self, query: AggregationQuery, totals: tuple[PaillierCiphertext, ...]
+    ) -> dict[str, int]:
+        """Decrypt a histogram aggregate into per-bin counts."""
+        if not query.is_histogram:
+            raise ProtocolError("scalar query decrypted as histogram")
+        assert query.bins is not None
+        if len(totals) != len(query.bins):
+            raise ProtocolError(
+                f"expected {len(query.bins)} bins, got {len(totals)} ciphertexts"
+            )
+        return {
+            label: self._keys.private_key.decrypt(ciphertext)
+            for label, ciphertext in zip(query.bins, totals)
+        }
+
+
+class DeviceContributor:
+    """A device-side helper that encrypts readings for a query."""
+
+    def __init__(self, rng: random.Random | None = None):
+        self._rng = rng or random.SystemRandom()
+
+    def contribute_value(self, query: AggregationQuery, value: float) -> Contribution:
+        """Encrypt one scalar reading."""
+        if query.is_histogram:
+            raise ProtocolError("scalar contribution to a histogram query")
+        encoded = query.codec.encode(value)
+        return Contribution(
+            query_id=query.query_id,
+            ciphertexts=(query.public_key.encrypt(encoded, self._rng),),
+        )
+
+    def contribute_category(self, query: AggregationQuery, category: str) -> Contribution:
+        """Encrypt a one-hot vector for a histogram query.
+
+        Every bin gets a ciphertext (of 0 or 1), so the aggregator cannot
+        tell which bin the device voted for.
+        """
+        if not query.is_histogram:
+            raise ProtocolError("histogram contribution to a scalar query")
+        assert query.bins is not None
+        if category not in query.bins:
+            raise ProtocolError(f"unknown bin {category!r}; expected {query.bins}")
+        ciphertexts = tuple(
+            query.public_key.encrypt(1 if label == category else 0, self._rng)
+            for label in query.bins
+        )
+        return Contribution(query_id=query.query_id, ciphertexts=ciphertexts)
+
+
+@dataclass
+class ObliviousAggregator:
+    """The untrusted middle party: accumulates what it cannot read."""
+
+    query: AggregationQuery
+    _totals: list[PaillierCiphertext] | None = field(default=None, init=False)
+    _count: int = field(default=0, init=False)
+
+    @property
+    def count(self) -> int:
+        """Number of contributions accumulated so far."""
+        return self._count
+
+    def accept(self, contribution: Contribution) -> None:
+        """Fold one contribution into the running encrypted totals."""
+        if contribution.query_id != self.query.query_id:
+            raise ProtocolError(
+                f"contribution for query {contribution.query_id!r} routed to "
+                f"aggregator of {self.query.query_id!r}"
+            )
+        width = len(self.query.bins) if self.query.is_histogram else 1
+        if len(contribution.ciphertexts) != width:
+            raise ProtocolError(
+                f"expected {width} ciphertexts, got {len(contribution.ciphertexts)}"
+            )
+        if self._totals is None:
+            self._totals = list(contribution.ciphertexts)
+        else:
+            self._totals = [
+                total + ciphertext
+                for total, ciphertext in zip(self._totals, contribution.ciphertexts)
+            ]
+        self._count += 1
+
+    def encrypted_result(self) -> tuple[PaillierCiphertext, ...]:
+        """The encrypted aggregate, for shipping to the coordinator."""
+        if self._totals is None:
+            raise ProtocolError("no contributions accumulated")
+        return tuple(self._totals)
+
+    def scalar_result(self) -> PaillierCiphertext:
+        """Convenience accessor for scalar queries."""
+        if self.query.is_histogram:
+            raise ProtocolError("scalar_result on a histogram aggregator")
+        return self.encrypted_result()[0]

@@ -1,0 +1,81 @@
+"""Shamir secret sharing over a prime field.
+
+Substrate for dropout-resilient secure aggregation
+(:mod:`repro.crypto.resilient_masking`): pairwise mask seeds are shared
+with threshold ``k`` so that any ``k`` surviving participants can help
+the aggregator cancel the masks of a dropped one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+#: The field prime: 2^127 - 1 (a Mersenne prime), comfortably above the
+#: 100-bit seeds shared through it.
+PRIME: int = (1 << 127) - 1
+
+
+@dataclass(frozen=True)
+class Share:
+    """One point (x, y) of the sharing polynomial."""
+
+    x: int
+    y: int
+
+
+def split_secret(
+    secret: int,
+    n_shares: int,
+    threshold: int,
+    rng: random.Random,
+    prime: int = PRIME,
+) -> list[Share]:
+    """Split ``secret`` into ``n_shares`` with reconstruction threshold.
+
+    Any ``threshold`` shares reconstruct the secret; fewer reveal nothing
+    (information-theoretically).
+    """
+    if not (0 <= secret < prime):
+        raise CryptoError(f"secret must be in [0, {prime}): got {secret}")
+    if threshold < 1 or threshold > n_shares:
+        raise CryptoError(
+            f"threshold {threshold} must be in [1, n_shares={n_shares}]"
+        )
+    # Polynomial of degree threshold-1 with constant term = secret.
+    coefficients = [secret] + [rng.randrange(prime) for _ in range(threshold - 1)]
+    shares = []
+    for x in range(1, n_shares + 1):
+        y = 0
+        for coefficient in reversed(coefficients):  # Horner
+            y = (y * x + coefficient) % prime
+        shares.append(Share(x=x, y=y))
+    return shares
+
+
+def reconstruct_secret(shares: list[Share], prime: int = PRIME) -> int:
+    """Lagrange interpolation at x = 0.
+
+    Works with any subset of size >= threshold; with fewer shares the
+    result is simply wrong (Shamir gives no integrity), so callers must
+    track the threshold themselves.
+    """
+    if not shares:
+        raise CryptoError("cannot reconstruct from zero shares")
+    xs = [share.x for share in shares]
+    if len(set(xs)) != len(xs):
+        raise CryptoError("duplicate share x-coordinates")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = numerator * (-share_j.x) % prime
+            denominator = denominator * (share_i.x - share_j.x) % prime
+        lagrange = numerator * pow(denominator, -1, prime) % prime
+        secret = (secret + share_i.y * lagrange) % prime
+    return secret

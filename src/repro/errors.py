@@ -1,0 +1,48 @@
+"""Exception hierarchy shared by every ``repro`` subsystem.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries while still discriminating on
+the specific failure when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GeoError(ReproError):
+    """Invalid geographic input (bad latitude/longitude, empty geometry...)."""
+
+
+class TrajectoryError(ReproError):
+    """A trajectory violates its invariants (unsorted, empty, mixed users)."""
+
+
+class MechanismError(ReproError):
+    """A privacy mechanism was misconfigured or cannot process its input."""
+
+
+class CryptoError(ReproError):
+    """Cryptographic failure: bad key sizes, ciphertext mismatch, etc."""
+
+
+class ProtocolError(ReproError):
+    """A multi-party protocol was driven through an illegal state sequence."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was misused (time travel, re-run...)."""
+
+
+class PlatformError(ReproError):
+    """APISENSE platform errors: unknown device, duplicate task, routing."""
+
+
+class TaskValidationError(PlatformError):
+    """A crowd-sensing task description failed static validation."""
+
+
+class PrivacyRequirementError(ReproError):
+    """PRIVAPI could not satisfy the requested privacy/utility constraints."""

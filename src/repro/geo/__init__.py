@@ -1,0 +1,29 @@
+"""Geodesy substrate: points, distances, projections, grids, trajectories.
+
+Every higher layer (mobility generation, privacy mechanisms, utility
+metrics, the APISENSE GPS sensor) builds on the primitives exported here.
+"""
+
+from repro.geo.point import GeoPoint, Record
+from repro.geo.distance import haversine_m, path_length_m
+from repro.geo.projection import LocalProjection
+from repro.geo.bbox import BoundingBox
+from repro.geo.grid import SpatialGrid
+from repro.geo.trajectory import Trajectory
+from repro.geo.simplify import compression_ratio, douglas_peucker
+from repro.geo.filtering import rolling_mean, rolling_median
+
+__all__ = [
+    "GeoPoint",
+    "Record",
+    "haversine_m",
+    "path_length_m",
+    "LocalProjection",
+    "BoundingBox",
+    "SpatialGrid",
+    "Trajectory",
+    "douglas_peucker",
+    "compression_ratio",
+    "rolling_median",
+    "rolling_mean",
+]

@@ -1,0 +1,72 @@
+"""Axis-aligned geographic bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import GeoError
+from repro.geo.point import GeoPoint
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A latitude/longitude axis-aligned box, inclusive on all edges."""
+
+    south: float
+    west: float
+    north: float
+    east: float
+
+    def __post_init__(self) -> None:
+        if self.south > self.north:
+            raise GeoError(f"south {self.south} > north {self.north}")
+        if self.west > self.east:
+            raise GeoError(f"west {self.west} > east {self.east}")
+
+    @classmethod
+    def around(cls, points: Iterable[GeoPoint]) -> "BoundingBox":
+        """Smallest box containing every point of a non-empty iterable."""
+        pts = list(points)
+        if not pts:
+            raise GeoError("bounding box of empty point set")
+        return cls(
+            south=min(p.lat for p in pts),
+            west=min(p.lon for p in pts),
+            north=max(p.lat for p in pts),
+            east=max(p.lon for p in pts),
+        )
+
+    @property
+    def south_west(self) -> GeoPoint:
+        return GeoPoint(self.south, self.west)
+
+    @property
+    def north_east(self) -> GeoPoint:
+        return GeoPoint(self.north, self.east)
+
+    @property
+    def center(self) -> GeoPoint:
+        return GeoPoint((self.south + self.north) / 2.0, (self.west + self.east) / 2.0)
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Whether ``point`` lies inside the box (edges inclusive)."""
+        return self.south <= point.lat <= self.north and self.west <= point.lon <= self.east
+
+    def expanded(self, margin_deg: float) -> "BoundingBox":
+        """A copy grown by ``margin_deg`` degrees on every side."""
+        return BoundingBox(
+            south=max(-90.0, self.south - margin_deg),
+            west=max(-180.0, self.west - margin_deg),
+            north=min(90.0, self.north + margin_deg),
+            east=min(180.0, self.east + margin_deg),
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes."""
+        return BoundingBox(
+            south=min(self.south, other.south),
+            west=min(self.west, other.west),
+            north=max(self.north, other.north),
+            east=max(self.east, other.east),
+        )

@@ -1,0 +1,63 @@
+"""Geographic points and timestamped location records."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeoError
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A WGS-84 coordinate pair in decimal degrees.
+
+    Instances are immutable and hashable so they can be used as dictionary
+    keys (e.g. POI anchors in the mobility generator).
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.lat <= 90.0):
+            raise GeoError(f"latitude out of range [-90, 90]: {self.lat}")
+        if not (-180.0 <= self.lon <= 180.0):
+            raise GeoError(f"longitude out of range [-180, 180]: {self.lon}")
+        if math.isnan(self.lat) or math.isnan(self.lon):
+            raise GeoError("coordinates must not be NaN")
+
+    def __str__(self) -> str:
+        return f"({self.lat:.6f}, {self.lon:.6f})"
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One timestamped location fix, the unit of mobility data.
+
+    ``time`` is seconds since the dataset epoch.  Extra sensor payloads are
+    carried separately by the platform layer; keeping the mobility record
+    minimal keeps privacy mechanisms independent from the platform.
+    """
+
+    point: GeoPoint
+    time: float
+
+    @property
+    def lat(self) -> float:
+        return self.point.lat
+
+    @property
+    def lon(self) -> float:
+        return self.point.lon
+
+    def moved(self, point: GeoPoint) -> "Record":
+        """Return a copy of this record relocated to ``point``."""
+        return Record(point=point, time=self.time)
+
+    def shifted(self, delta_seconds: float) -> "Record":
+        """Return a copy of this record with its timestamp shifted."""
+        return Record(point=self.point, time=self.time + delta_seconds)
+
+    def __str__(self) -> str:
+        return f"{self.point}@{self.time:.1f}s"

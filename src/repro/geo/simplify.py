@@ -1,0 +1,79 @@
+"""Trajectory simplification (Douglas-Peucker).
+
+Devices buffering hours of fixes benefit from shipping simplified
+polylines; analysts benefit from lighter datasets.  Simplification keeps
+the record subset whose polyline stays within ``tolerance_m`` of the
+original path (perpendicular distance), preserving timestamps of the
+kept records.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TrajectoryError
+from repro.geo.projection import LocalProjection
+from repro.geo.trajectory import Trajectory
+
+
+def _perpendicular_distance(
+    point: tuple[float, float],
+    start: tuple[float, float],
+    end: tuple[float, float],
+) -> float:
+    """Distance from ``point`` to the segment ``start``-``end`` (metres)."""
+    px, py = point
+    ax, ay = start
+    bx, by = end
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return math.hypot(px - ax, py - ay)
+    t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy) / length_sq))
+    cx, cy = ax + t * dx, ay + t * dy
+    return math.hypot(px - cx, py - cy)
+
+
+def douglas_peucker(trajectory: Trajectory, tolerance_m: float) -> Trajectory:
+    """Simplify a trajectory, keeping it within ``tolerance_m`` of itself.
+
+    Endpoints are always kept, so the result is a valid trajectory with
+    at least two records (or one, for single-record inputs).
+    """
+    if tolerance_m <= 0:
+        raise TrajectoryError(f"tolerance must be positive: {tolerance_m}")
+    if len(trajectory) <= 2:
+        return trajectory
+
+    projection = LocalProjection(trajectory.bounding_box.center)
+    xy = [projection.to_xy(p) for p in trajectory.points]
+    keep = [False] * len(xy)
+    keep[0] = keep[-1] = True
+
+    # Iterative stack form of the classic recursion.
+    stack: list[tuple[int, int]] = [(0, len(xy) - 1)]
+    while stack:
+        first, last = stack.pop()
+        max_distance = 0.0
+        index = -1
+        for i in range(first + 1, last):
+            distance = _perpendicular_distance(xy[i], xy[first], xy[last])
+            if distance > max_distance:
+                max_distance = distance
+                index = i
+        if index >= 0 and max_distance > tolerance_m:
+            keep[index] = True
+            stack.append((first, index))
+            stack.append((index, last))
+
+    records = tuple(
+        record for record, kept in zip(trajectory.records, keep) if kept
+    )
+    return Trajectory(user=trajectory.user, records=records)
+
+
+def compression_ratio(original: Trajectory, simplified: Trajectory) -> float:
+    """Records removed as a fraction of the original (0 = none, ->1 = most)."""
+    if len(original) == 0:
+        return 0.0
+    return 1.0 - len(simplified) / len(original)

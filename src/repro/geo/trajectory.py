@@ -1,0 +1,258 @@
+"""Trajectories: ordered sequences of timestamped location records."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import TrajectoryError
+from repro.geo.bbox import BoundingBox
+from repro.geo.distance import haversine_m, interpolate
+from repro.geo.point import GeoPoint, Record
+from repro.units import DAY
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One user's timestamped path, sorted by strictly increasing time.
+
+    A trajectory is immutable; every transformation returns a new instance.
+    Privacy mechanisms operate on single trajectories (typically one day of
+    data, per the paper) and datasets group them per user.
+    """
+
+    user: str
+    records: tuple[Record, ...]
+    _times: tuple[float, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise TrajectoryError(f"trajectory for {self.user!r} is empty")
+        times = tuple(r.time for r in self.records)
+        for earlier, later in zip(times, times[1:]):
+            if later <= earlier:
+                raise TrajectoryError(
+                    f"records for {self.user!r} not strictly increasing in "
+                    f"time ({earlier} then {later})"
+                )
+        object.__setattr__(self, "_times", times)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, user: str, records: Sequence[Record]) -> "Trajectory":
+        """Build a trajectory, sorting records and dropping duplicate times.
+
+        This is the forgiving constructor used at ingestion boundaries; the
+        plain constructor enforces (rather than repairs) the invariants.
+        """
+        ordered = sorted(records, key=lambda r: r.time)
+        deduped: list[Record] = []
+        for record in ordered:
+            if deduped and record.time <= deduped[-1].time:
+                continue
+            deduped.append(record)
+        return cls(user=user, records=tuple(deduped))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self.records[index]
+
+    @property
+    def points(self) -> list[GeoPoint]:
+        return [r.point for r in self.records]
+
+    @property
+    def start_time(self) -> float:
+        return self.records[0].time
+
+    @property
+    def end_time(self) -> float:
+        return self.records[-1].time
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds between first and last record."""
+        return self.end_time - self.start_time
+
+    @property
+    def length_m(self) -> float:
+        """Total path length in metres."""
+        total = 0.0
+        for a, b in zip(self.records, self.records[1:]):
+            total += haversine_m(a.point, b.point)
+        return total
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.around(self.points)
+
+    def speeds(self) -> list[float]:
+        """Per-segment speeds in m/s (length n-1)."""
+        result = []
+        for a, b in zip(self.records, self.records[1:]):
+            dt = b.time - a.time
+            result.append(haversine_m(a.point, b.point) / dt)
+        return result
+
+    def mean_speed(self) -> float:
+        """Overall mean speed: path length over duration (m/s)."""
+        if self.duration == 0:
+            return 0.0
+        return self.length_m / self.duration
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def map_points(self, transform: Callable[[Record], GeoPoint]) -> "Trajectory":
+        """Apply a spatial transform to every record, keeping timestamps."""
+        return Trajectory(
+            user=self.user,
+            records=tuple(r.moved(transform(r)) for r in self.records),
+        )
+
+    def renamed(self, user: str) -> "Trajectory":
+        """A copy attributed to a different (e.g. pseudonymous) user id."""
+        return Trajectory(user=user, records=self.records)
+
+    def slice_time(self, start: float, end: float) -> "Trajectory | None":
+        """Records with ``start <= time < end``; None if that is empty."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        if lo >= hi:
+            return None
+        return Trajectory(user=self.user, records=self.records[lo:hi])
+
+    def split_by_day(self, day_length: float = DAY) -> list["Trajectory"]:
+        """Split into per-day sub-trajectories (the paper's unit of work).
+
+        Day ``k`` covers ``[k * day_length, (k + 1) * day_length)``.  Days
+        without records produce no entry.
+        """
+        if day_length <= 0:
+            raise TrajectoryError(f"day length must be positive: {day_length}")
+        first_day = int(self.start_time // day_length)
+        last_day = int(self.end_time // day_length)
+        days = []
+        for day in range(first_day, last_day + 1):
+            piece = self.slice_time(day * day_length, (day + 1) * day_length)
+            if piece is not None:
+                days.append(piece)
+        return days
+
+    def resample_uniform_distance(self, step_m: float) -> list[GeoPoint]:
+        """Points at uniform curvilinear spacing ``step_m`` along the path.
+
+        Always includes the first point; includes the final point as the
+        last sample.  This is the geometric half of speed smoothing: the
+        output deliberately discards all timing information.
+        """
+        if step_m <= 0:
+            raise TrajectoryError(f"resampling step must be positive: {step_m}")
+        points = self.points
+        if len(points) == 1 or self.length_m == 0.0:
+            return [points[0]]
+        resampled = [points[0]]
+        carried = 0.0  # distance already walked into the current segment
+        for a, b in zip(points, points[1:]):
+            segment = haversine_m(a, b)
+            if segment == 0.0:
+                continue
+            position = carried
+            while position + step_m <= segment:
+                position += step_m
+                resampled.append(interpolate(a, b, position / segment))
+            carried = position - segment
+        if resampled[-1] != points[-1]:
+            resampled.append(points[-1])
+        return resampled
+
+    def split_gaps(self, max_gap: float) -> list["Trajectory"]:
+        """Split the trajectory wherever consecutive fixes are more than
+        ``max_gap`` seconds apart.
+
+        Radio dropouts and phones switched off leave holes; interpolating
+        across them fabricates movement.  Segmenting at gaps lets
+        consumers treat each contiguous stretch honestly.
+        """
+        if max_gap <= 0:
+            raise TrajectoryError(f"max gap must be positive: {max_gap}")
+        segments: list[Trajectory] = []
+        start = 0
+        for index in range(1, len(self.records)):
+            if self.records[index].time - self.records[index - 1].time > max_gap:
+                segments.append(
+                    Trajectory(user=self.user, records=self.records[start:index])
+                )
+                start = index
+        segments.append(Trajectory(user=self.user, records=self.records[start:]))
+        return segments
+
+    def resample_chord(self, step_m: float) -> list[GeoPoint]:
+        """Points emitted each time the path gets ``step_m`` metres away
+        from the last emitted point (chord distance).
+
+        Unlike :meth:`resample_uniform_distance`, which measures distance
+        *along* the path, chord resampling is insensitive to GPS jitter: a
+        user dwelling at a place accumulates curvilinear path length from
+        fix noise but never strays ``step_m`` away from the last emitted
+        point, so a stop contributes no samples at all.  This is the
+        geometric core of speed smoothing.
+        """
+        if step_m <= 0:
+            raise TrajectoryError(f"resampling step must be positive: {step_m}")
+        from repro.geo.projection import LocalProjection
+
+        projection = LocalProjection(self.bounding_box.center)
+        xy = [projection.to_xy(p) for p in self.points]
+        emitted = [xy[0]]
+        ex, ey = xy[0]
+        for (ax, ay), (bx, by) in zip(xy, xy[1:]):
+            sx, sy = ax, ay
+            while True:
+                dx, dy = bx - sx, by - sy
+                seg2 = dx * dx + dy * dy
+                if seg2 == 0.0:
+                    break
+                fx, fy = sx - ex, sy - ey
+                half_b = fx * dx + fy * dy
+                c = fx * fx + fy * fy - step_m * step_m
+                disc = half_b * half_b - seg2 * c
+                if disc < 0.0:
+                    break
+                t = (-half_b + disc**0.5) / seg2
+                if not (0.0 <= t <= 1.0):
+                    break
+                sx, sy = sx + t * dx, sy + t * dy
+                emitted.append((sx, sy))
+                ex, ey = sx, sy
+        return [projection.to_point(x, y) for x, y in emitted]
+
+    def point_at_time(self, time: float) -> GeoPoint:
+        """Linear interpolation of the position at ``time``.
+
+        Times before the first record clamp to the first point and times
+        after the last clamp to the last point.
+        """
+        if time <= self.start_time:
+            return self.records[0].point
+        if time >= self.end_time:
+            return self.records[-1].point
+        index = bisect.bisect_right(self._times, time)
+        before = self.records[index - 1]
+        after = self.records[index]
+        fraction = (time - before.time) / (after.time - before.time)
+        return interpolate(before.point, after.point, fraction)

@@ -1,0 +1,32 @@
+"""Synthetic mobility workload with known ground truth.
+
+The paper evaluates PRIVAPI on a real-life GPS dataset that is not
+available offline.  This package substitutes a POI-anchored generator that
+reproduces the property every experiment depends on — the stop/move
+structure of daily human mobility — while providing exact ground truth
+(which places each user visited and when), something a real dataset cannot.
+"""
+
+from repro.mobility.city import City, CityConfig
+from repro.mobility.dataset import MobilityDataset
+from repro.mobility.generator import GeneratorConfig, MobilityGenerator, PopulationData
+from repro.mobility.ground_truth import GroundTruth, PoiVisit, UserTruth
+from repro.mobility.schedule import DailySchedule, Stay, UserProfile
+from repro.mobility.stats import DatasetSummary, summarize
+
+__all__ = [
+    "DatasetSummary",
+    "summarize",
+    "City",
+    "CityConfig",
+    "MobilityDataset",
+    "GeneratorConfig",
+    "MobilityGenerator",
+    "PopulationData",
+    "GroundTruth",
+    "PoiVisit",
+    "UserTruth",
+    "DailySchedule",
+    "Stay",
+    "UserProfile",
+]

@@ -1,0 +1,89 @@
+"""Synthetic city model: the spatial canvas for mobility generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GeoError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+from repro.geo.projection import LocalProjection
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Parameters of the synthetic city.
+
+    The default city is a 10 km x 10 km square centred on Bordeaux (the
+    venue of Middleware'14 — any city-scale extent works identically).
+    """
+
+    center: GeoPoint = field(default_factory=lambda: GeoPoint(44.8378, -0.5792))
+    half_extent_m: float = 5_000.0
+    n_residential: int = 120
+    n_workplaces: int = 40
+    n_leisure: int = 30
+    #: Workplaces and leisure venues concentrate towards the center with
+    #: this Gaussian spread (fraction of the half extent).
+    downtown_spread: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.half_extent_m <= 0:
+            raise GeoError(f"city half extent must be positive: {self.half_extent_m}")
+        if min(self.n_residential, self.n_workplaces, self.n_leisure) < 1:
+            raise GeoError("the city needs at least one place of each kind")
+
+
+@dataclass(frozen=True)
+class City:
+    """A sampled city: pools of residential, work and leisure anchors.
+
+    Residences are uniform over the extent; workplaces and leisure venues
+    cluster downtown, which creates the shared hotspots the crowded-places
+    utility metric (experiment E4) relies on.
+    """
+
+    config: CityConfig
+    residential: tuple[GeoPoint, ...]
+    workplaces: tuple[GeoPoint, ...]
+    leisure: tuple[GeoPoint, ...]
+
+    @classmethod
+    def generate(cls, config: CityConfig, rng: np.random.Generator) -> "City":
+        """Sample a city layout from ``config`` using ``rng``."""
+        projection = LocalProjection(config.center)
+        extent = config.half_extent_m
+
+        def uniform_places(count: int) -> tuple[GeoPoint, ...]:
+            xs = rng.uniform(-extent, extent, size=count)
+            ys = rng.uniform(-extent, extent, size=count)
+            return tuple(projection.to_point(x, y) for x, y in zip(xs, ys))
+
+        def downtown_places(count: int) -> tuple[GeoPoint, ...]:
+            spread = extent * config.downtown_spread
+            xs = np.clip(rng.normal(0.0, spread, size=count), -extent, extent)
+            ys = np.clip(rng.normal(0.0, spread, size=count), -extent, extent)
+            return tuple(projection.to_point(x, y) for x, y in zip(xs, ys))
+
+        return cls(
+            config=config,
+            residential=uniform_places(config.n_residential),
+            workplaces=downtown_places(config.n_workplaces),
+            leisure=downtown_places(config.n_leisure),
+        )
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        """The city extent as a geographic bounding box."""
+        projection = LocalProjection(self.config.center)
+        extent = self.config.half_extent_m
+        south_west = projection.to_point(-extent, -extent)
+        north_east = projection.to_point(extent, extent)
+        return BoundingBox(
+            south=south_west.lat,
+            west=south_west.lon,
+            north=north_east.lat,
+            east=north_east.lon,
+        )

@@ -1,0 +1,148 @@
+"""The mobility dataset abstraction shared by the platform and PRIVAPI."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import TrajectoryError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint, Record
+from repro.geo.trajectory import Trajectory
+from repro.units import DAY
+
+
+class MobilityDataset:
+    """A collection of per-user trajectories.
+
+    This is the object PRIVAPI protects before publication: the middleware
+    has *global knowledge* of it, which is exactly the design point the
+    paper makes (the server sees the whole dataset and can pick the optimal
+    anonymization strategy for it).
+    """
+
+    def __init__(self, trajectories: Iterable[Trajectory]):
+        self._trajectories: dict[str, Trajectory] = {}
+        for trajectory in trajectories:
+            if trajectory.user in self._trajectories:
+                raise TrajectoryError(
+                    f"duplicate trajectory for user {trajectory.user!r}; merge "
+                    "records into a single trajectory per user"
+                )
+            self._trajectories[trajectory.user] = trajectory
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self._trajectories.values())
+
+    def __contains__(self, user: str) -> bool:
+        return user in self._trajectories
+
+    @property
+    def users(self) -> list[str]:
+        return list(self._trajectories)
+
+    def get(self, user: str) -> Trajectory:
+        if user not in self._trajectories:
+            raise TrajectoryError(f"no trajectory for user {user!r}")
+        return self._trajectories[user]
+
+    @property
+    def n_records(self) -> int:
+        return sum(len(t) for t in self._trajectories.values())
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        if not self._trajectories:
+            raise TrajectoryError("bounding box of an empty dataset")
+        boxes = [t.bounding_box for t in self._trajectories.values()]
+        result = boxes[0]
+        for box in boxes[1:]:
+            result = result.union(box)
+        return result
+
+    def all_records(self) -> Iterator[tuple[str, Record]]:
+        """Stream every (user, record) pair in the dataset."""
+        for trajectory in self._trajectories.values():
+            for record in trajectory.records:
+                yield trajectory.user, record
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def map_trajectories(
+        self, transform: Callable[[Trajectory], Trajectory | None]
+    ) -> "MobilityDataset":
+        """Apply a per-trajectory transform; ``None`` results are dropped."""
+        transformed = []
+        for trajectory in self._trajectories.values():
+            result = transform(trajectory)
+            if result is not None:
+                transformed.append(result)
+        return MobilityDataset(transformed)
+
+    def slice_time(self, start: float, end: float) -> "MobilityDataset":
+        """Restrict the dataset to records with ``start <= time < end``."""
+        sliced = []
+        for trajectory in self._trajectories.values():
+            piece = trajectory.slice_time(start, end)
+            if piece is not None:
+                sliced.append(piece)
+        return MobilityDataset(sliced)
+
+    def split_by_day(self, day_length: float = DAY) -> Iterator[Trajectory]:
+        """Stream every per-user, per-day sub-trajectory."""
+        for trajectory in self._trajectories.values():
+            yield from trajectory.split_by_day(day_length)
+
+    def pseudonymized(self, prefix: str = "pseudo") -> tuple["MobilityDataset", dict[str, str]]:
+        """Replace user ids with opaque pseudonyms.
+
+        Returns the pseudonymized dataset and the secret ``pseudonym ->
+        real user`` mapping (kept by the platform, *not* published).  The
+        re-identification experiment (E2) tries to reconstruct this mapping
+        from the published data alone.
+        """
+        mapping: dict[str, str] = {}
+        renamed = []
+        for index, user in enumerate(sorted(self._trajectories)):
+            pseudonym = f"{prefix}-{index:04d}"
+            mapping[pseudonym] = user
+            renamed.append(self._trajectories[user].renamed(pseudonym))
+        return MobilityDataset(renamed), mapping
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the dataset as ``user,time,lat,lon`` rows."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["user", "time", "lat", "lon"])
+            for user, record in self.all_records():
+                writer.writerow([user, f"{record.time:.3f}", f"{record.lat:.7f}", f"{record.lon:.7f}"])
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "MobilityDataset":
+        """Read a dataset previously written by :meth:`to_csv`."""
+        per_user: dict[str, list[Record]] = {}
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                record = Record(
+                    point=GeoPoint(float(row["lat"]), float(row["lon"])),
+                    time=float(row["time"]),
+                )
+                per_user.setdefault(row["user"], []).append(record)
+        return cls(
+            Trajectory.from_records(user, records) for user, records in per_user.items()
+        )

@@ -1,0 +1,73 @@
+"""GeoJSON export: trajectories and POIs as standard map features.
+
+Downstream users drop these files straight onto geojson.io / QGIS /
+Leaflet to inspect raw and protected datasets side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.geo.point import GeoPoint
+from repro.geo.trajectory import Trajectory
+from repro.mobility.dataset import MobilityDataset
+from repro.privacy.pois import Poi
+
+
+def trajectory_feature(trajectory: Trajectory) -> dict:
+    """One LineString feature per trajectory (coordinates are lon, lat)."""
+    return {
+        "type": "Feature",
+        "geometry": {
+            "type": "LineString",
+            "coordinates": [[record.lon, record.lat] for record in trajectory],
+        },
+        "properties": {
+            "user": trajectory.user,
+            "start": trajectory.start_time,
+            "end": trajectory.end_time,
+            "n_records": len(trajectory),
+        },
+    }
+
+
+def poi_feature(poi: Poi | GeoPoint, user: str | None = None) -> dict:
+    """One Point feature per POI (or bare point)."""
+    if isinstance(poi, Poi):
+        point, properties = poi.center, {
+            "total_dwell": poi.total_dwell,
+            "n_visits": poi.n_visits,
+        }
+    else:
+        point, properties = poi, {}
+    if user is not None:
+        properties["user"] = user
+    return {
+        "type": "Feature",
+        "geometry": {"type": "Point", "coordinates": [point.lon, point.lat]},
+        "properties": properties,
+    }
+
+
+def dataset_to_geojson(dataset: MobilityDataset) -> dict:
+    """A FeatureCollection with one LineString per user."""
+    return {
+        "type": "FeatureCollection",
+        "features": [trajectory_feature(t) for t in dataset],
+    }
+
+
+def pois_to_geojson(pois_by_user: dict[str, Sequence[Poi]]) -> dict:
+    """A FeatureCollection of every user's POIs."""
+    features = []
+    for user, pois in sorted(pois_by_user.items()):
+        features.extend(poi_feature(poi, user) for poi in pois)
+    return {"type": "FeatureCollection", "features": features}
+
+
+def write_geojson(obj: dict, path: str | Path) -> None:
+    """Serialize a GeoJSON dict to a file."""
+    with open(path, "w") as handle:
+        json.dump(obj, handle)

@@ -1,0 +1,107 @@
+"""User profiles and daily schedules (stay/commute structure)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeoError
+from repro.geo.point import GeoPoint
+from repro.units import DAY, HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class Stay:
+    """One dwell period at a fixed place within a day.
+
+    ``start`` and ``end`` are seconds from the day's midnight; ``place`` is
+    the anchor point the user jitters around while staying.
+    """
+
+    place: GeoPoint
+    start: float
+    end: float
+    label: str = "stay"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise GeoError(f"stay ends before it starts: {self.start}..{self.end}")
+
+    @property
+    def dwell(self) -> float:
+        """Dwell time in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class DailySchedule:
+    """An ordered, non-overlapping sequence of stays for one day.
+
+    Gaps between consecutive stays are commutes; the generator fills them
+    with movement between the two anchors.
+    """
+
+    stays: tuple[Stay, ...]
+
+    def __post_init__(self) -> None:
+        for earlier, later in zip(self.stays, self.stays[1:]):
+            if later.start < earlier.end:
+                raise GeoError(
+                    f"overlapping stays: {earlier.label} ends {earlier.end}, "
+                    f"{later.label} starts {later.start}"
+                )
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """The stable behavioural profile of one synthetic user.
+
+    The profile is the user's *ground-truth identity*: the home/work pair is
+    what POI-based re-identification attacks exploit, so each user gets a
+    distinct combination.
+    """
+
+    user: str
+    home: GeoPoint
+    work: GeoPoint
+    leisure: tuple[GeoPoint, ...]
+    #: Mean work start (seconds from midnight) around which days jitter.
+    work_start_mean: float = 9 * HOUR
+    work_duration_mean: float = 8 * HOUR
+    #: Probability that a day includes an evening leisure stop.
+    leisure_probability: float = 0.45
+    #: Probability the user stays home all day (weekend / sick day).
+    home_day_probability: float = 0.12
+    #: Preferred commute speed in m/s (driving ~ 11, cycling ~ 5).
+    commute_speed: float = 10.0
+
+    def sample_day(self, rng: np.random.Generator) -> DailySchedule:
+        """Draw one day's schedule from the profile's distributions."""
+        if rng.uniform() < self.home_day_probability:
+            return DailySchedule(
+                stays=(Stay(self.home, 0.0, DAY, label="home"),)
+            )
+
+        work_start = self.work_start_mean + rng.normal(0.0, 30 * MINUTE)
+        work_start = float(np.clip(work_start, 6 * HOUR, 11 * HOUR))
+        work_end = work_start + self.work_duration_mean + rng.normal(0.0, 45 * MINUTE)
+        work_end = float(np.clip(work_end, work_start + 4 * HOUR, 21 * HOUR))
+
+        # Leave enough commute slack around the work stay.
+        commute_slack = 45 * MINUTE
+        stays = [Stay(self.home, 0.0, work_start - commute_slack, label="home")]
+        stays.append(Stay(self.work, work_start, work_end, label="work"))
+
+        cursor = work_end + commute_slack
+        if self.leisure and rng.uniform() < self.leisure_probability:
+            venue = self.leisure[int(rng.integers(len(self.leisure)))]
+            leisure_end = cursor + float(rng.uniform(1 * HOUR, 2.5 * HOUR))
+            leisure_end = min(leisure_end, DAY - 2 * HOUR)
+            if leisure_end > cursor + 30 * MINUTE:
+                stays.append(Stay(venue, cursor, leisure_end, label="leisure"))
+                cursor = leisure_end + commute_slack
+
+        if cursor < DAY - MINUTE:
+            stays.append(Stay(self.home, cursor, DAY, label="home"))
+        return DailySchedule(stays=tuple(stays))

@@ -1,0 +1,60 @@
+"""PRIVAPI's algorithmic core: POI analysis, mechanisms, attacks, metrics.
+
+The threat model follows the paper: points of interest (POIs) — places
+where a user dwells — leak semantics and identity.  This package provides
+
+- POI extraction (:mod:`repro.privacy.pois`), used both defensively (to
+  audit a dataset) and offensively (the attacker's tool);
+- location-privacy mechanisms (:mod:`repro.privacy.mechanisms`), including
+  the paper's novel *speed smoothing* and the state-of-the-art baseline it
+  is compared against (geo-indistinguishability);
+- attacks (:mod:`repro.privacy.attacks`): POI retrieval and POI-profile
+  re-identification;
+- privacy metrics (:mod:`repro.privacy.metrics`).
+"""
+
+from repro.privacy.pois import Poi, PoiExtractor, PoiExtractorConfig, StayPoint
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    IdentityMechanism,
+    LocationPrivacyMechanism,
+    SpatialCloakingMechanism,
+    SpeedSmoothingMechanism,
+    TemporalDownsamplingMechanism,
+)
+from repro.privacy.attacks import (
+    HomeIdentificationAttack,
+    PoiAttack,
+    ReidentificationAttack,
+    home_identification_rate,
+)
+from repro.privacy.budget import PrivacyBudgetLedger, UserBudget
+from repro.privacy.metrics import (
+    mean_spatial_distortion_m,
+    poi_precision,
+    poi_recall,
+    reidentification_rate,
+)
+
+__all__ = [
+    "Poi",
+    "PoiExtractor",
+    "PoiExtractorConfig",
+    "StayPoint",
+    "LocationPrivacyMechanism",
+    "IdentityMechanism",
+    "GeoIndistinguishabilityMechanism",
+    "SpatialCloakingMechanism",
+    "SpeedSmoothingMechanism",
+    "TemporalDownsamplingMechanism",
+    "PoiAttack",
+    "ReidentificationAttack",
+    "HomeIdentificationAttack",
+    "home_identification_rate",
+    "PrivacyBudgetLedger",
+    "UserBudget",
+    "mean_spatial_distortion_m",
+    "poi_precision",
+    "poi_recall",
+    "reidentification_rate",
+]

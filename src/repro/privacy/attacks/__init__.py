@@ -1,0 +1,25 @@
+"""Attacks against published mobility datasets.
+
+Two attacks from the paper's threat model:
+
+- :class:`PoiAttack` — recover points of interest from protected traces;
+- :class:`ReidentificationAttack` — link pseudonymous protected traces
+  back to known users via their POI profiles (the attack behind the
+  paper's "re-identify at least 60 % of the POIs" finding).
+"""
+
+from repro.privacy.attacks.poi_attack import PoiAttack
+from repro.privacy.attacks.reident import ReidentificationAttack
+from repro.privacy.attacks.home_identification import (
+    HomeGuess,
+    HomeIdentificationAttack,
+    home_identification_rate,
+)
+
+__all__ = [
+    "PoiAttack",
+    "ReidentificationAttack",
+    "HomeIdentificationAttack",
+    "HomeGuess",
+    "home_identification_rate",
+]

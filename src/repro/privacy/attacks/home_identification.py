@@ -1,0 +1,101 @@
+"""Home-identification attack (Krumm, Pervasive'07 — the paper's [2]).
+
+The highest-value semantic inference on mobility data: *where does this
+user live?*  The attack scores every candidate POI by night-time
+presence (the published trace's positions during the night window) and
+returns the best-scoring location per user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.distance import haversine_m
+from repro.geo.point import GeoPoint
+from repro.geo.trajectory import Trajectory
+from repro.mobility.dataset import MobilityDataset
+from repro.units import DAY, HOUR
+
+
+@dataclass(frozen=True)
+class HomeGuess:
+    """The attack's answer for one user."""
+
+    user: str
+    location: GeoPoint | None
+    night_fixes: int
+
+
+class HomeIdentificationAttack:
+    """Guess each user's home as the modal night-time position.
+
+    Night fixes (``night_start``..``night_end``, wrapping midnight) are
+    snapped to a fine grid; the densest grid cell's centroid is the home
+    guess.  Works directly on protected traces — no background knowledge
+    required — which makes it the floor any mechanism must clear.
+    """
+
+    def __init__(
+        self,
+        night_start: float = 22 * HOUR,
+        night_end: float = 6 * HOUR,
+        cell_m: float = 150.0,
+    ):
+        self.night_start = night_start
+        self.night_end = night_end
+        self.cell_m = cell_m
+
+    def _is_night(self, time: float) -> bool:
+        time_of_day = time % DAY
+        if self.night_start <= self.night_end:
+            return self.night_start <= time_of_day < self.night_end
+        return time_of_day >= self.night_start or time_of_day < self.night_end
+
+    def guess_home(self, trajectory: Trajectory) -> HomeGuess:
+        """Home guess for a single (protected) trajectory."""
+        from repro.geo.bbox import BoundingBox
+        from repro.geo.grid import SpatialGrid
+
+        night_records = [r for r in trajectory.records if self._is_night(r.time)]
+        if not night_records:
+            return HomeGuess(user=trajectory.user, location=None, night_fixes=0)
+        bbox = BoundingBox.around([r.point for r in night_records]).expanded(0.01)
+        grid = SpatialGrid(bbox, self.cell_m)
+        counts: dict[tuple[int, int], list[GeoPoint]] = {}
+        for record in night_records:
+            counts.setdefault(grid.cell_of(record.point), []).append(record.point)
+        best_cell = max(counts, key=lambda cell: len(counts[cell]))
+        cluster = counts[best_cell]
+        centroid = GeoPoint(
+            sum(p.lat for p in cluster) / len(cluster),
+            sum(p.lon for p in cluster) / len(cluster),
+        )
+        return HomeGuess(
+            user=trajectory.user, location=centroid, night_fixes=len(night_records)
+        )
+
+    def run(self, dataset: MobilityDataset) -> dict[str, HomeGuess]:
+        """Home guesses for every user of a dataset."""
+        return {t.user: self.guess_home(t) for t in dataset}
+
+
+def home_identification_rate(
+    guesses: dict[str, HomeGuess],
+    true_homes: dict[str, GeoPoint],
+    radius_m: float = 250.0,
+) -> float:
+    """Fraction of users whose true home was found within ``radius_m``.
+
+    ``guesses`` may be keyed by pseudonym; callers resolve the secret
+    mapping first when scoring pseudonymized releases.
+    """
+    if not true_homes:
+        return 0.0
+    correct = 0
+    for user, home in true_homes.items():
+        guess = guesses.get(user)
+        if guess is None or guess.location is None:
+            continue
+        if haversine_m(guess.location, home) <= radius_m:
+            correct += 1
+    return correct / len(true_homes)

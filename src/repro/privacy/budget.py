@@ -1,0 +1,111 @@
+"""Privacy budget accounting across repeated publications.
+
+A platform that publishes the same users' data repeatedly cannot reason
+release-by-release: perturbation guarantees compose.  The ledger tracks
+per-user cumulative spend in two currencies —
+
+- **epsilon** (differential-privacy style, additive under sequential
+  composition) for calibrated-noise mechanisms, and
+- **exposures** (publication count) for structural mechanisms (smoothing,
+  cloaking) whose repeated releases leak through intersection rather
+  than noise cancellation.
+
+The platform owner sets caps; :meth:`PrivacyBudgetLedger.authorize`
+rejects a release that would push any included user past either cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PrivacyRequirementError
+
+
+@dataclass
+class UserBudget:
+    """Cumulative spend of one user."""
+
+    user: str
+    epsilon_spent: float = 0.0
+    exposures: int = 0
+
+
+@dataclass
+class PrivacyBudgetLedger:
+    """Per-user spend tracking with platform-wide caps.
+
+    Parameters
+    ----------
+    epsilon_cap:
+        Maximum cumulative epsilon per user (sequential composition).
+    exposure_cap:
+        Maximum number of releases any user may appear in.
+    """
+
+    epsilon_cap: float = 1.0
+    exposure_cap: int = 10
+    _accounts: dict[str, UserBudget] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.epsilon_cap <= 0:
+            raise PrivacyRequirementError(f"epsilon cap must be positive: {self.epsilon_cap}")
+        if self.exposure_cap < 1:
+            raise PrivacyRequirementError(f"exposure cap must be >= 1: {self.exposure_cap}")
+
+    def account(self, user: str) -> UserBudget:
+        if user not in self._accounts:
+            self._accounts[user] = UserBudget(user=user)
+        return self._accounts[user]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def remaining_epsilon(self, user: str) -> float:
+        return max(0.0, self.epsilon_cap - self.account(user).epsilon_spent)
+
+    def remaining_exposures(self, user: str) -> int:
+        return max(0, self.exposure_cap - self.account(user).exposures)
+
+    def can_release(self, users: list[str], epsilon: float = 0.0) -> bool:
+        """Whether a release including ``users`` at ``epsilon`` fits."""
+        if epsilon < 0:
+            raise PrivacyRequirementError(f"epsilon must be >= 0: {epsilon}")
+        return all(
+            self.remaining_exposures(user) >= 1
+            and self.remaining_epsilon(user) >= epsilon
+            for user in users
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def authorize(self, users: list[str], epsilon: float = 0.0) -> None:
+        """Record a release, or raise if any user would exceed a cap.
+
+        The check-and-charge is atomic: either every user is charged or
+        none is.
+        """
+        if not self.can_release(users, epsilon):
+            blocked = [
+                user
+                for user in users
+                if self.remaining_exposures(user) < 1
+                or self.remaining_epsilon(user) < epsilon
+            ]
+            raise PrivacyRequirementError(
+                f"release would exceed the privacy budget of users {blocked}; "
+                f"caps: epsilon={self.epsilon_cap}, exposures={self.exposure_cap}"
+            )
+        for user in users:
+            budget = self.account(user)
+            budget.epsilon_spent += epsilon
+            budget.exposures += 1
+
+    def summary(self) -> list[UserBudget]:
+        """All accounts, highest spend first."""
+        return sorted(
+            self._accounts.values(),
+            key=lambda b: (-b.epsilon_spent, -b.exposures),
+        )

@@ -1,0 +1,33 @@
+"""Location-privacy mechanisms available to PRIVAPI.
+
+The paper's position is that there is no single always-best anonymization
+strategy; PRIVAPI keeps a registry of mechanisms and picks per publication.
+This package ships the paper's novel strategy (speed smoothing) plus the
+baselines it is judged against.
+"""
+
+from repro.privacy.mechanisms.base import LocationPrivacyMechanism
+from repro.privacy.mechanisms.identity import IdentityMechanism
+from repro.privacy.mechanisms.geo_indistinguishability import (
+    GeoIndistinguishabilityMechanism,
+)
+from repro.privacy.mechanisms.spatial_cloaking import SpatialCloakingMechanism
+from repro.privacy.mechanisms.temporal_downsampling import (
+    TemporalDownsamplingMechanism,
+)
+from repro.privacy.mechanisms.speed_smoothing import SpeedSmoothingMechanism
+from repro.privacy.mechanisms.poi_suppression import PoiSuppressionMechanism
+from repro.privacy.mechanisms.composite import CompositeMechanism
+from repro.privacy.mechanisms.k_anonymity import KAnonymityCloakingMechanism
+
+__all__ = [
+    "LocationPrivacyMechanism",
+    "IdentityMechanism",
+    "GeoIndistinguishabilityMechanism",
+    "SpatialCloakingMechanism",
+    "TemporalDownsamplingMechanism",
+    "SpeedSmoothingMechanism",
+    "PoiSuppressionMechanism",
+    "CompositeMechanism",
+    "KAnonymityCloakingMechanism",
+]

@@ -1,0 +1,23 @@
+"""The no-op mechanism, used as the unprotected control in experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.trajectory import Trajectory
+from repro.privacy.mechanisms.base import LocationPrivacyMechanism
+
+
+class IdentityMechanism(LocationPrivacyMechanism):
+    """Publishes trajectories unchanged.
+
+    Serves as the control arm of every experiment: attack success against
+    the identity mechanism is the ceiling, utility under it the reference.
+    """
+
+    name = "identity"
+
+    def protect_trajectory(
+        self, trajectory: Trajectory, rng: np.random.Generator
+    ) -> Trajectory:
+        return trajectory

@@ -1,0 +1,105 @@
+"""Spatial k-anonymity cloaking (Gruteser & Grunwald style).
+
+Each published position is generalized to the centre of the smallest
+grid region that at least ``k`` distinct users of the dataset visit.
+Unlike fixed-pitch cloaking, the region size *adapts to density*: dense
+downtown cells stay fine-grained, sparse suburbs coarsen until k users
+share them.
+
+This mechanism is the registry's cleanest showcase of PRIVAPI's "global
+knowledge of the whole system": the anonymity sets are computed from the
+entire dataset, which an on-device mechanism could never do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MechanismError
+from repro.geo.grid import SpatialGrid
+from repro.geo.point import GeoPoint
+from repro.geo.trajectory import Trajectory
+from repro.mobility.dataset import MobilityDataset
+from repro.privacy.mechanisms.base import LocationPrivacyMechanism
+
+
+class KAnonymityCloakingMechanism(LocationPrivacyMechanism):
+    """Density-adaptive cloaking with per-region anonymity >= ``k``.
+
+    Parameters
+    ----------
+    k:
+        Minimum number of distinct users per published region.
+    base_cell_m:
+        Finest region size; regions double (base, 2x, 4x, ...) until the
+        anonymity constraint is met, up to ``max_levels`` doublings.
+        Positions whose region never reaches ``k`` users are suppressed.
+    """
+
+    name = "k-anonymity-cloaking"
+
+    def __init__(self, k: int = 5, base_cell_m: float = 250.0, max_levels: int = 6):
+        if k < 2:
+            raise MechanismError(f"k must be >= 2: {k}")
+        if base_cell_m <= 0:
+            raise MechanismError(f"base cell must be positive: {base_cell_m}")
+        if max_levels < 1:
+            raise MechanismError(f"max_levels must be >= 1: {max_levels}")
+        self.k = k
+        self.base_cell_m = base_cell_m
+        self.max_levels = max_levels
+        self._grids: list[SpatialGrid] | None = None
+        self._user_counts: list[dict[tuple[int, int], int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Dataset-level pass: build the anonymity-set index
+    # ------------------------------------------------------------------
+
+    def protect(self, dataset: MobilityDataset, seed: int = 0) -> MobilityDataset:
+        bbox = dataset.bounding_box.expanded(0.01)
+        self._grids = [
+            SpatialGrid(bbox, self.base_cell_m * (2**level))
+            for level in range(self.max_levels)
+        ]
+        self._user_counts = []
+        for grid in self._grids:
+            visitors: dict[tuple[int, int], set[str]] = {}
+            for user, record in dataset.all_records():
+                visitors.setdefault(grid.cell_of(record.point), set()).add(user)
+            self._user_counts.append(
+                {cell: len(users) for cell, users in visitors.items()}
+            )
+        try:
+            return super().protect(dataset, seed)
+        finally:
+            self._grids = None
+            self._user_counts = None
+
+    # ------------------------------------------------------------------
+    # Per-record generalization
+    # ------------------------------------------------------------------
+
+    def _generalize(self, point: GeoPoint) -> GeoPoint | None:
+        assert self._grids is not None and self._user_counts is not None
+        for grid, counts in zip(self._grids, self._user_counts):
+            cell = grid.cell_of(point)
+            if counts.get(cell, 0) >= self.k:
+                return grid.center_of(cell)
+        return None
+
+    def protect_trajectory(
+        self, trajectory: Trajectory, rng: np.random.Generator
+    ) -> Trajectory | None:
+        if self._grids is None:
+            raise MechanismError(
+                "k-anonymity cloaking needs the whole dataset; call protect() "
+                "rather than protect_trajectory()"
+            )
+        kept = []
+        for record in trajectory.records:
+            generalized = self._generalize(record.point)
+            if generalized is not None:
+                kept.append(record.moved(generalized))
+        if len(kept) < 2:
+            return None
+        return Trajectory(user=trajectory.user, records=tuple(kept))

@@ -1,0 +1,41 @@
+"""Temporal downsampling: publish at most one fix per time window."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MechanismError
+from repro.geo.point import Record
+from repro.geo.trajectory import Trajectory
+from repro.privacy.mechanisms.base import LocationPrivacyMechanism
+
+
+class TemporalDownsamplingMechanism(LocationPrivacyMechanism):
+    """Keeps the first fix of every ``window`` seconds, dropping the rest.
+
+    Coarsening the sampling rate weakens dwell evidence (fewer records per
+    stop) at a proportional cost in temporal resolution.  It is the
+    simplest member of the registry and a useful lower bound: it degrades
+    everything uniformly instead of targeting POIs.
+    """
+
+    name = "temporal-downsampling"
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise MechanismError(f"window must be positive: {window}")
+        self.window = window
+
+    def protect_trajectory(
+        self, trajectory: Trajectory, rng: np.random.Generator
+    ) -> Trajectory | None:
+        kept: list[Record] = []
+        current_window = None
+        for record in trajectory.records:
+            window_index = int(record.time // self.window)
+            if window_index != current_window:
+                kept.append(record)
+                current_window = window_index
+        if not kept:
+            return None
+        return Trajectory(user=trajectory.user, records=tuple(kept))

@@ -1,0 +1,11 @@
+"""Deterministic discrete-event simulation engine.
+
+Replaces the paper's physical deployment substrate (Android devices,
+radios, wall-clock time) with a reproducible event loop.  The platform
+layer schedules sampling ticks, uploads and user behaviour as events;
+identical seeds yield identical campaigns.
+"""
+
+from repro.simulation.engine import Simulator, CancelToken
+
+__all__ = ["Simulator", "CancelToken"]

@@ -1,0 +1,145 @@
+"""The event loop: a time-ordered heap of callbacks."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class CancelToken:
+    """Handle returned by ``schedule*``; call :meth:`cancel` to revoke."""
+
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    token: CancelToken = field(compare=False)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Events fire in (time, insertion-order) order, so same-time events are
+    processed FIFO — determinism matters more than fairness here.  All
+    times are seconds on the same axis as mobility data (0 = midnight of
+    day 0).
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> CancelToken:
+        """Run ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}; simulation time is already {self._now}"
+            )
+        token = CancelToken()
+        heapq.heappush(self._heap, _Event(time, next(self._counter), callback, token))
+        return token
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> CancelToken:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        until: float | None = None,
+        first_at: float | None = None,
+    ) -> CancelToken:
+        """Run ``callback`` every ``period`` seconds until ``until``.
+
+        Cancellation via the returned token stops future firings.  The
+        callback may itself cancel the token to stop the series.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive: {period}")
+        token = CancelToken()
+        start = self._now + period if first_at is None else first_at
+
+        def fire() -> None:
+            if token.cancelled:
+                return
+            callback()
+            next_time = self._now + period
+            if until is None or next_time <= until:
+                event = _Event(next_time, next(self._counter), fire, token)
+                heapq.heappush(self._heap, event)
+
+        if until is None or start <= until:
+            heapq.heappush(self._heap, _Event(start, next(self._counter), fire, token))
+        return token
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.token.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Process every event with ``time <= end_time``.
+
+        Simulation time ends at exactly ``end_time`` even if the queue
+        drains earlier, so periodic reports align across runs.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"cannot run to {end_time}; simulation time is already {self._now}"
+            )
+        while self._heap and self._heap[0].time <= end_time:
+            self.step()
+        self._now = end_time
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Process events until the queue is empty (bounded by a fuse)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise SimulationError(f"simulation exceeded {max_events} events; runaway loop?")

@@ -1,0 +1,44 @@
+"""Time and distance unit helpers.
+
+Timestamps throughout the library are ``float`` seconds since an arbitrary
+epoch (the mobility generator uses 0 = local midnight of day 0).  Distances
+are metres, speeds metres/second.  These constants keep call sites readable
+without pulling in a heavyweight units package.
+"""
+
+from __future__ import annotations
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 86400.0
+
+METRE: float = 1.0
+KILOMETRE: float = 1000.0
+
+#: Mean Earth radius in metres (IUGG value), used by haversine and the
+#: local East-North-Up projection.
+EARTH_RADIUS_M: float = 6_371_008.8
+
+
+def kmh(value: float) -> float:
+    """Convert a speed in km/h into the library's native m/s."""
+    return value * KILOMETRE / HOUR
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration as a compact human string, e.g. ``"2h05m"``.
+
+    >>> format_duration(7500)
+    '2h05m'
+    >>> format_duration(42)
+    '42s'
+    """
+    if seconds < MINUTE:
+        return f"{seconds:.0f}s"
+    if seconds < HOUR:
+        minutes = int(seconds // MINUTE)
+        return f"{minutes}m{seconds - minutes * MINUTE:02.0f}s"
+    hours = int(seconds // HOUR)
+    minutes = (seconds - hours * HOUR) / MINUTE
+    return f"{hours}h{minutes:02.0f}m"

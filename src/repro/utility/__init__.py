@@ -1,0 +1,55 @@
+"""Utility evaluation of published mobility datasets.
+
+The paper claims speed-smoothed datasets remain useful "for useful data
+mining tasks such as finding out crowded places or predicting traffic".
+This package implements both tasks plus generic coverage measures, each
+scoring a *protected* dataset against the raw one.
+"""
+
+from repro.utility.heatmap import (
+    DensityGrid,
+    density_similarity,
+    footfall_density,
+    hotspot_f1,
+    hotspot_overlap,
+    presence_density,
+)
+from repro.utility.traffic import (
+    TrafficModel,
+    flow_correlation,
+    seasonal_naive_error,
+    traffic_matrix,
+    transit_counts,
+)
+from repro.utility.coverage import area_coverage, record_rate, temporal_coverage
+from repro.utility.od_matrix import od_matrix, od_similarity
+from repro.utility.release_report import UtilityReport, evaluate_release
+from repro.utility.range_queries import (
+    RangeQuery,
+    range_query_error,
+    sample_query_workload,
+)
+
+__all__ = [
+    "DensityGrid",
+    "presence_density",
+    "footfall_density",
+    "density_similarity",
+    "hotspot_f1",
+    "hotspot_overlap",
+    "transit_counts",
+    "TrafficModel",
+    "traffic_matrix",
+    "flow_correlation",
+    "seasonal_naive_error",
+    "area_coverage",
+    "record_rate",
+    "temporal_coverage",
+    "RangeQuery",
+    "sample_query_workload",
+    "range_query_error",
+    "od_matrix",
+    "od_similarity",
+    "UtilityReport",
+    "evaluate_release",
+]

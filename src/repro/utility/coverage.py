@@ -1,0 +1,43 @@
+"""Generic coverage measures of a published dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.grid import SpatialGrid
+from repro.mobility.dataset import MobilityDataset
+
+
+def area_coverage(dataset: MobilityDataset, grid: SpatialGrid) -> float:
+    """Fraction of grid cells containing at least one published record."""
+    seen: set[tuple[int, int]] = set()
+    for _, record in dataset.all_records():
+        seen.add(grid.cell_of(record.point))
+    return len(seen) / grid.n_cells
+
+
+def temporal_coverage(dataset: MobilityDataset, window: float = 3600.0) -> float:
+    """Fraction of time windows (over the dataset span) with any record.
+
+    A mechanism that suppresses whole days or users leaves holes that
+    this measure exposes even when spatial metrics look fine.
+    """
+    times = [record.time for _, record in dataset.all_records()]
+    if not times:
+        return 0.0
+    start, end = min(times), max(times)
+    n_windows = max(1, int(np.ceil((end - start) / window)))
+    seen = {int((t - start) // window) for t in times}
+    return len(seen) / n_windows
+
+
+def record_rate(dataset: MobilityDataset) -> float:
+    """Published records per user-hour (over each user's own span)."""
+    total_records = 0
+    total_hours = 0.0
+    for trajectory in dataset:
+        total_records += len(trajectory)
+        total_hours += trajectory.duration / 3600.0
+    if total_hours == 0:
+        return 0.0
+    return total_records / total_hours

@@ -1,0 +1,57 @@
+"""Fixtures for platform tests: a bound device in a tiny simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apisense.battery import Battery, BatteryModel
+from repro.apisense.device import MobileDevice
+from repro.apisense.hive import Hive
+from repro.apisense.preferences import UserPreferences
+from repro.apisense.sensors import default_sensor_suite
+from repro.simulation import Simulator
+
+
+@pytest.fixture()
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture()
+def hive(sim) -> Hive:
+    return Hive(sim, seed=1)
+
+
+@pytest.fixture(scope="session")
+def sensor_suite(test_city):
+    return default_sensor_suite(test_city, np.random.default_rng(3))
+
+
+#: A battery that never charges (for depletion tests).
+NO_CHARGE = BatteryModel(charge_per_hour=0.0)
+
+
+def build_device(
+    population,
+    sensor_suite,
+    index: int = 0,
+    preferences: UserPreferences | None = None,
+    battery_level: float = 1.0,
+    battery_model: BatteryModel | None = None,
+) -> MobileDevice:
+    user = population.dataset.users[index]
+    return MobileDevice(
+        device_id=f"dev-{index}",
+        user=user,
+        trajectory=population.dataset.get(user),
+        sensors=sensor_suite,
+        battery=Battery(battery_model or BatteryModel(), level=battery_level),
+        preferences=preferences,
+        seed=index,
+    )
+
+
+@pytest.fixture()
+def device(small_population, sensor_suite) -> MobileDevice:
+    return build_device(small_population, sensor_suite)

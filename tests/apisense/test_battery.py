@@ -1,0 +1,79 @@
+"""Unit tests for the battery model."""
+
+import pytest
+
+from repro.apisense.battery import Battery, BatteryModel
+from repro.errors import PlatformError
+from repro.units import DAY, HOUR
+
+
+class TestBatteryModel:
+    def test_charging_window_wraps_midnight(self):
+        model = BatteryModel()
+        assert model.is_charging_time(23 * HOUR)
+        assert model.is_charging_time(2 * HOUR)
+        assert not model.is_charging_time(12 * HOUR)
+
+    def test_non_wrapping_window(self):
+        model = BatteryModel(charge_window=(8 * HOUR, 10 * HOUR))
+        assert model.is_charging_time(9 * HOUR)
+        assert not model.is_charging_time(11 * HOUR)
+
+    def test_cost_of_sensor_set(self):
+        model = BatteryModel()
+        assert model.cost_of(("gps",)) > model.cost_of(("battery",))
+        assert model.cost_of(("gps", "network")) == pytest.approx(
+            model.cost_of(("gps",)) + model.cost_of(("network",))
+        )
+
+    def test_unknown_sensor_gets_default_cost(self):
+        assert BatteryModel().cost_of(("mystery",)) > 0
+
+
+class TestBattery:
+    def test_initial_level_validated(self):
+        with pytest.raises(PlatformError):
+            Battery(BatteryModel(), level=1.5)
+
+    def test_baseline_drain_during_day(self):
+        battery = Battery(BatteryModel(), level=1.0, time=8 * HOUR)
+        level = battery.level(16 * HOUR)  # 8 daytime hours
+        assert level == pytest.approx(1.0 - 8 * 0.01, abs=0.005)
+
+    def test_night_charging_restores(self):
+        battery = Battery(BatteryModel(), level=0.2, time=22 * HOUR)
+        assert battery.level(26 * HOUR) == 1.0  # 4 h at 0.5/h, capped
+
+    def test_level_clamped_to_zero(self):
+        model = BatteryModel(baseline_drain_per_hour=0.5)
+        battery = Battery(model, level=0.1, time=8 * HOUR)
+        assert battery.level(20 * HOUR) == 0.0
+        assert battery.is_empty(20 * HOUR)
+
+    def test_time_travel_rejected(self):
+        battery = Battery(BatteryModel(), level=1.0, time=100.0)
+        battery.level(200.0)
+        with pytest.raises(PlatformError):
+            battery.level(50.0)
+
+    def test_drain_sample_costs_energy(self):
+        battery = Battery(BatteryModel(), level=0.5, time=8 * HOUR)
+        before = battery.level(8 * HOUR)
+        assert battery.drain_sample(("gps",), 8 * HOUR)
+        after = battery.level(8 * HOUR)
+        assert after == pytest.approx(before - BatteryModel().cost_of(("gps",)))
+
+    def test_drain_sample_refused_when_empty(self):
+        battery = Battery(BatteryModel(), level=0.0, time=12 * HOUR)
+        assert not battery.drain_sample(("gps",), 12 * HOUR)
+
+    def test_daily_cycle_sustainable(self):
+        # A device sampling GPS every minute all day must survive with
+        # night charging: drain ~0.01*15h + 1440*2e-5 < charge capacity.
+        battery = Battery(BatteryModel(), level=1.0, time=0.0)
+        time = 0.0
+        for day in range(3):
+            for minute in range(1440):
+                time = day * DAY + minute * 60.0
+                battery.drain_sample(("gps",), time)
+        assert battery.level(time) > 0.3

@@ -1,0 +1,127 @@
+"""Integration tests for full campaigns (paper Figure 1 end to end)."""
+
+import pytest
+
+from repro.apisense.campaign import Campaign, CampaignConfig
+from repro.apisense.incentives import RewardIncentive, WinWinIncentive
+from repro.apisense.preferences import UserPreferences
+from repro.apisense.tasks import SensingTask
+from repro.errors import PlatformError
+from repro.units import DAY
+
+
+def mobility_task(days: float = 2.0, period: float = 300.0) -> SensingTask:
+    return SensingTask(
+        name="mobility",
+        sensors=("gps", "battery"),
+        sampling_period=period,
+        upload_period=3600.0,
+        end=days * DAY,
+    )
+
+
+@pytest.fixture(scope="module")
+def finished_campaign(small_population):
+    campaign = Campaign(
+        small_population,
+        incentive=RewardIncentive(),
+        config=CampaignConfig(n_days=2, seed=3),
+    )
+    honeycomb = campaign.deploy(mobility_task(days=2.0))
+    report = campaign.run()
+    return campaign, honeycomb, report
+
+
+class TestCampaignRun:
+    def test_no_task_rejected(self, small_population):
+        campaign = Campaign(small_population, config=CampaignConfig(n_days=1))
+        with pytest.raises(PlatformError):
+            campaign.run()
+
+    def test_report_totals(self, finished_campaign):
+        _, _, report = finished_campaign
+        assert report.n_devices == 5
+        assert report.duration_days == pytest.approx(2.0)
+        assert report.total_records > 0
+        assert len(report.daily_records) == 2
+        assert sum(report.daily_records) == report.total_records
+
+    def test_acceptance_rate_in_bounds(self, finished_campaign):
+        _, _, report = finished_campaign
+        rate = report.acceptance_rate_per_task["mobility"]
+        assert 0.0 <= rate <= 1.0
+
+    def test_messages_and_events_counted(self, finished_campaign):
+        _, _, report = finished_campaign
+        assert report.messages_sent > 0
+        assert report.events_processed > report.messages_sent
+
+    def test_honeycomb_received_everything(self, finished_campaign):
+        _, honeycomb, report = finished_campaign
+        assert honeycomb.n_records("mobility") == report.total_records
+
+    def test_collected_mobility_matches_population(
+        self, finished_campaign, small_population
+    ):
+        _, honeycomb, _ = finished_campaign
+        dataset = honeycomb.mobility_dataset("mobility")
+        assert set(dataset.users) <= set(small_population.dataset.users)
+        # Collected positions are true device positions (GPS sensor).
+        for trajectory in dataset:
+            original = small_population.dataset.get(trajectory.user)
+            from repro.geo.distance import haversine_m
+
+            sample = trajectory.records[len(trajectory) // 2]
+            expected = original.point_at_time(sample.time)
+            assert haversine_m(sample.point, expected) < 1.0
+
+    def test_deterministic_given_seed(self, small_population):
+        def run():
+            campaign = Campaign(
+                small_population,
+                incentive=WinWinIncentive(),
+                config=CampaignConfig(n_days=1, seed=7),
+            )
+            campaign.deploy(mobility_task(days=1.0))
+            return campaign.run()
+
+        assert run().records_per_task == run().records_per_task
+
+
+class TestPreferencesInCampaign:
+    def test_opted_out_users_contribute_nothing(self, small_population):
+        users = small_population.dataset.users
+        preferences = {
+            users[0]: UserPreferences(allowed_sensors=frozenset({"battery"}))
+        }
+        campaign = Campaign(
+            small_population,
+            config=CampaignConfig(n_days=1, seed=5),
+            preferences=preferences,
+        )
+        honeycomb = campaign.deploy(mobility_task(days=1.0))
+        campaign.run()
+        dataset = honeycomb.mobility_dataset("mobility")
+        assert users[0] not in dataset.users
+
+    def test_recruitment_quota_limits_offers(self, small_population):
+        from repro.apisense import QuotaRecruitment
+
+        campaign = Campaign(small_population, config=CampaignConfig(n_days=1, seed=8))
+        campaign.deploy(
+            mobility_task(days=1.0), recruitment=QuotaRecruitment(2)
+        )
+        campaign.run()
+        assert campaign.hive.stats.per_task["mobility"].offers == 2
+
+    def test_multiple_honeycombs(self, small_population):
+        campaign = Campaign(small_population, config=CampaignConfig(n_days=1, seed=6))
+        campaign.deploy(mobility_task(days=1.0), honeycomb="lab-a")
+        task_b = SensingTask(
+            name="net", sensors=("network",), sampling_period=600.0, end=DAY
+        )
+        campaign.deploy(task_b, honeycomb="lab-b")
+        report = campaign.run()
+        assert set(report.records_per_task) == {"mobility", "net"}
+        assert campaign.honeycomb("lab-a").n_records("mobility") == report.records_per_task["mobility"]
+        assert campaign.honeycomb("lab-b").n_records("net") == report.records_per_task["net"]

@@ -1,0 +1,106 @@
+"""Integration tests for Hive federation."""
+
+import pytest
+
+from repro.apisense.federation import HiveFederation
+from repro.apisense.hive import Hive
+from repro.apisense.honeycomb import Honeycomb
+from repro.apisense.tasks import SensingTask
+from repro.errors import PlatformError
+from repro.mobility.generator import GeneratorConfig, MobilityGenerator
+from repro.simulation import Simulator
+from repro.units import DAY, HOUR
+from tests.apisense.conftest import build_device
+
+
+@pytest.fixture()
+def federation_parts(sensor_suite):
+    """Two 4-user communities (different cities/seeds) on one simulator."""
+    sim = Simulator()
+    federation = HiveFederation()
+    populations = []
+    for index, seed in enumerate((71, 72)):
+        population = MobilityGenerator(
+            GeneratorConfig(n_users=4, n_days=1, sampling_period=300.0)
+        ).generate(seed=seed)
+        populations.append(population)
+        hive = Hive(sim, seed=index)
+        for device_index in range(4):
+            hive.register_device(
+                build_device(population, sensor_suite, index=device_index)
+            )
+        federation.register_hive(f"hive-{index}", hive)
+    return sim, federation, populations
+
+
+def task() -> SensingTask:
+    return SensingTask(
+        name="fed-task",
+        sensors=("gps",),
+        sampling_period=600.0,
+        upload_period=1800.0,
+        end=DAY,
+    )
+
+
+class TestRegistration:
+    def test_duplicate_hive_rejected(self, federation_parts):
+        _, federation, _ = federation_parts
+        with pytest.raises(PlatformError):
+            federation.register_hive("hive-0", federation.hive("hive-0"))
+
+    def test_unknown_hive_rejected(self, federation_parts):
+        _, federation, _ = federation_parts
+        with pytest.raises(PlatformError):
+            federation.hive("nope")
+
+    def test_total_devices(self, federation_parts):
+        _, federation, _ = federation_parts
+        assert federation.total_devices() == 8
+
+
+class TestSyndication:
+    def test_offers_reach_both_communities(self, federation_parts):
+        sim, federation, _ = federation_parts
+        owner = Honeycomb("lab", federation.hive("hive-0"))
+        receipt = federation.syndicate(task(), owner, home="hive-0")
+        assert receipt.total_offers == 8
+        assert receipt.partner_hives == ("hive-1",)
+
+    def test_data_from_all_communities_routes_to_owner(self, federation_parts):
+        sim, federation, populations = federation_parts
+        the_task = task()
+        owner = Honeycomb("lab", federation.hive("hive-0"))
+        federation.syndicate(the_task, owner, home="hive-0")
+        sim.run_until(DAY + HOUR)
+
+        collected = owner.mobility_dataset(the_task.name)
+        stats = federation.task_stats(the_task.name)
+        total_records = sum(records for _, _, records in stats.values())
+        assert owner.n_records(the_task.name) == total_records
+        if total_records:
+            # Users from either community may appear, resolved correctly.
+            all_users = set(populations[0].dataset.users) | set(
+                populations[1].dataset.users
+            )
+            assert set(collected.users) <= all_users
+
+    def test_unknown_home_rejected(self, federation_parts):
+        _, federation, _ = federation_parts
+        owner = Honeycomb("lab", federation.hive("hive-0"))
+        with pytest.raises(PlatformError):
+            federation.syndicate(task(), owner, home="nope")
+
+    def test_home_in_partners_rejected(self, federation_parts):
+        _, federation, _ = federation_parts
+        owner = Honeycomb("lab", federation.hive("hive-0"))
+        with pytest.raises(PlatformError):
+            federation.syndicate(task(), owner, home="hive-0", partners=["hive-0"])
+
+    def test_explicit_partner_subset(self, federation_parts):
+        sim, federation, _ = federation_parts
+        the_task = task()
+        owner = Honeycomb("lab", federation.hive("hive-0"))
+        receipt = federation.syndicate(the_task, owner, home="hive-0", partners=[])
+        assert receipt.partner_hives == ()
+        assert receipt.total_offers == 4

@@ -1,0 +1,148 @@
+"""Unit tests for incentive strategies."""
+
+import numpy as np
+import pytest
+
+from repro.apisense.incentives import (
+    FeedbackIncentive,
+    NoIncentive,
+    RankingIncentive,
+    RewardIncentive,
+    UserState,
+    WinWinIncentive,
+    draw_initial_motivation,
+)
+
+ALL_STRATEGIES = [
+    NoIncentive(),
+    FeedbackIncentive(),
+    RankingIncentive(),
+    RewardIncentive(),
+    WinWinIncentive(),
+]
+
+
+def fresh_community(n: int = 8, motivation: float = 0.5) -> dict[str, UserState]:
+    return {
+        f"user-{i}": UserState(user=f"user-{i}", motivation=motivation)
+        for i in range(n)
+    }
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+class TestCommonContract:
+    def test_acceptance_probability_bounds(self, strategy):
+        for motivation in (0.0, 0.5, 1.0):
+            state = UserState(user="u", motivation=motivation)
+            assert 0.05 <= strategy.acceptance_probability(state) <= 0.95
+
+    def test_contribution_counts(self, strategy):
+        state = UserState(user="u", motivation=0.5)
+        strategy.on_contribution(state, 10)
+        assert state.contributions == 1
+
+    def test_motivation_stays_in_bounds(self, strategy):
+        state = UserState(user="u", motivation=0.99)
+        for _ in range(200):
+            strategy.on_contribution(state, 100)
+        assert 0.0 <= state.motivation <= 1.0
+
+    def test_day_end_decay_without_contributions(self, strategy):
+        community = fresh_community()
+        before = np.mean([s.motivation for s in community.values()])
+        strategy.on_day_end(community)
+        after = np.mean([s.motivation for s in community.values()])
+        assert after < before
+
+
+class TestNoIncentive:
+    def test_contributions_earn_nothing(self):
+        state = UserState(user="u", motivation=0.5)
+        NoIncentive().on_contribution(state, 100)
+        assert state.motivation == 0.5
+        assert state.credits == 0.0
+
+
+class TestFeedback:
+    def test_boost_saturates(self):
+        strategy = FeedbackIncentive()
+        state = UserState(user="u", motivation=0.3)
+        strategy.on_contribution(state, 10)
+        first_boost = state.motivation - 0.3
+        for _ in range(50):
+            strategy.on_contribution(state, 10)
+        before = state.motivation
+        strategy.on_contribution(state, 10)
+        late_boost = state.motivation - before
+        assert late_boost < first_boost
+
+
+class TestRanking:
+    def test_ranks_assigned_on_day_end(self):
+        strategy = RankingIncentive()
+        community = fresh_community()
+        for index, state in enumerate(community.values()):
+            strategy.on_contribution(state, n_records=(index + 1) * 10)
+        strategy.on_day_end(community)
+        ranks = sorted(state.rank for state in community.values())
+        assert ranks == list(range(1, len(community) + 1))
+
+    def test_top_quartile_gains_on_bottom(self):
+        strategy = RankingIncentive()
+        community = fresh_community()
+        states = list(community.values())
+        strategy.on_contribution(states[0], 1000)  # clear leader
+        strategy.on_day_end(community)
+        assert states[0].motivation > states[-1].motivation
+
+
+class TestReward:
+    def test_credits_accrue(self):
+        strategy = RewardIncentive(credit_per_record=0.05)
+        state = UserState(user="u", motivation=0.5)
+        strategy.on_contribution(state, 100)
+        assert state.credits == pytest.approx(5.0)
+
+    def test_bigger_uploads_bigger_boost(self):
+        strategy = RewardIncentive()
+        small = UserState(user="a", motivation=0.5)
+        large = UserState(user="b", motivation=0.5)
+        strategy.on_contribution(small, 1)
+        strategy.on_contribution(large, 500)
+        assert large.motivation > small.motivation
+
+
+class TestWinWin:
+    def test_motivation_floor_for_contributors(self):
+        strategy = WinWinIncentive()
+        community = fresh_community(motivation=0.4)
+        contributor = community["user-0"]
+        strategy.on_contribution(contributor, 10)
+        for _ in range(60):  # two months of decay
+            strategy.on_day_end(community)
+        assert contributor.motivation >= 0.35
+        # Non-contributors decay freely (0.4 * 0.985^60 ~ 0.16).
+        assert community["user-1"].motivation < 0.2
+
+    def test_retains_better_than_none(self):
+        winwin_community = fresh_community(motivation=0.6)
+        none_community = fresh_community(motivation=0.6)
+        winwin, none = WinWinIncentive(), NoIncentive()
+        for day in range(30):
+            for state in winwin_community.values():
+                winwin.on_contribution(state, 10)
+            for state in none_community.values():
+                none.on_contribution(state, 10)
+            winwin.on_day_end(winwin_community)
+            none.on_day_end(none_community)
+        mean_winwin = np.mean([s.motivation for s in winwin_community.values()])
+        mean_none = np.mean([s.motivation for s in none_community.values()])
+        assert mean_winwin > mean_none
+
+
+class TestInitialMotivation:
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        draws = [draw_initial_motivation(rng) for _ in range(100)]
+        assert all(0.35 <= d <= 0.85 for d in draws)
+        assert np.std(draws) > 0.05

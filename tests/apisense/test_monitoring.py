@@ -1,0 +1,66 @@
+"""Unit tests for platform health monitoring."""
+
+import pytest
+
+from repro.apisense import Campaign, CampaignConfig, SensingTask
+from repro.apisense.monitoring import snapshot
+from repro.units import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def mid_campaign(small_population):
+    campaign = Campaign(
+        small_population, config=CampaignConfig(n_days=1, seed=21)
+    )
+    campaign.deploy(
+        SensingTask(
+            name="watched",
+            sensors=("gps",),
+            sampling_period=300.0,
+            upload_period=1800.0,
+            end=DAY,
+        )
+    )
+    campaign.sim.run_until(6 * HOUR)  # mid-campaign, not finished
+    return campaign
+
+
+class TestSnapshot:
+    def test_device_counts(self, mid_campaign):
+        report = snapshot(mid_campaign.hive, mid_campaign.sim.now)
+        assert report.devices == 5
+        assert 0 <= report.running_devices <= 5
+
+    def test_battery_and_motivation_bounds(self, mid_campaign):
+        report = snapshot(mid_campaign.hive, mid_campaign.sim.now)
+        assert 0.0 <= report.mean_battery <= 1.0
+        assert 0.0 <= report.mean_motivation <= 1.0
+        assert 0 <= report.low_battery_devices <= report.devices
+        assert 0 <= report.at_risk_users <= report.devices
+
+    def test_task_progress_tracked(self, mid_campaign):
+        report = snapshot(mid_campaign.hive, mid_campaign.sim.now)
+        assert len(report.tasks) == 1
+        task = report.tasks[0]
+        assert task.task == "watched"
+        assert task.offers == 5
+        if task.acceptances:
+            assert task.records >= 0
+            assert 0.0 < task.acceptance_rate <= 1.0
+
+    def test_to_text_renders_everything(self, mid_campaign):
+        report = snapshot(mid_campaign.hive, mid_campaign.sim.now)
+        text = report.to_text()
+        assert "platform health" in text
+        assert "devices: 5" in text
+        assert "task watched" in text
+        assert "transport" in text
+
+    def test_empty_hive(self):
+        from repro.apisense.hive import Hive
+        from repro.simulation import Simulator
+
+        report = snapshot(Hive(Simulator()), 0.0)
+        assert report.devices == 0
+        assert report.mean_battery == 0.0
+        assert report.tasks == ()

@@ -1,0 +1,140 @@
+"""Unit tests for user preferences and the on-device privacy filters."""
+
+import pytest
+
+from repro.apisense.filters import (
+    AreaFenceFilter,
+    FieldDropFilter,
+    LocationBlurFilter,
+    PrivacyFilterChain,
+    QuietHoursFilter,
+)
+from repro.apisense.preferences import UserPreferences
+from repro.errors import PlatformError
+from repro.geo.distance import haversine_m
+from repro.geo.point import GeoPoint
+from repro.units import HOUR
+
+HOME = GeoPoint(44.80, -0.60)
+
+
+class TestPreferences:
+    def test_defaults_allow_everything(self):
+        preferences = UserPreferences()
+        assert preferences.allows_sensors(("gps", "battery"))
+        assert not preferences.in_quiet_hours(12 * HOUR)
+
+    def test_sensor_restriction(self):
+        preferences = UserPreferences(allowed_sensors=frozenset({"battery"}))
+        assert preferences.allows_sensors(("battery",))
+        assert not preferences.allows_sensors(("gps",))
+
+    def test_quiet_hours_plain_window(self):
+        preferences = UserPreferences(quiet_hours=((9 * HOUR, 17 * HOUR),))
+        assert preferences.in_quiet_hours(12 * HOUR)
+        assert not preferences.in_quiet_hours(8 * HOUR)
+
+    def test_quiet_hours_wrap_midnight(self):
+        preferences = UserPreferences(quiet_hours=((22 * HOUR, 6 * HOUR),))
+        assert preferences.in_quiet_hours(23 * HOUR)
+        assert preferences.in_quiet_hours(3 * HOUR)
+        assert not preferences.in_quiet_hours(12 * HOUR)
+
+    def test_invalid_quiet_hours(self):
+        with pytest.raises(PlatformError):
+            UserPreferences(quiet_hours=((0.0, 90000.0),))
+
+    def test_invalid_zone_radius(self):
+        with pytest.raises(PlatformError):
+            UserPreferences(forbidden_zones=((HOME, 0.0),))
+
+    def test_negative_blur(self):
+        with pytest.raises(PlatformError):
+            UserPreferences(blur_cell_m=-5.0)
+
+
+class TestQuietHoursFilter:
+    def test_drops_inside_window(self):
+        preferences = UserPreferences(quiet_hours=((9 * HOUR, 17 * HOUR),))
+        quiet_filter = QuietHoursFilter(preferences)
+        assert quiet_filter.apply({"gps": HOME}, 12 * HOUR) is None
+        assert quiet_filter.apply({"gps": HOME}, 18 * HOUR) is not None
+
+
+class TestAreaFenceFilter:
+    def test_drops_inside_zone(self):
+        fence = AreaFenceFilter(zones=((HOME, 200.0),))
+        assert fence.apply({"gps": HOME}, 0.0) is None
+
+    def test_keeps_outside_zone(self):
+        fence = AreaFenceFilter(zones=((HOME, 200.0),))
+        far = GeoPoint(44.84, -0.56)
+        assert fence.apply({"gps": far}, 0.0) == {"gps": far}
+
+    def test_passes_samples_without_gps(self):
+        fence = AreaFenceFilter(zones=((HOME, 200.0),))
+        assert fence.apply({"battery": 0.5}, 0.0) == {"battery": 0.5}
+
+
+class TestLocationBlurFilter:
+    def test_blur_moves_within_cell(self):
+        blur = LocationBlurFilter(cell_m=400.0)
+        result = blur.apply({"gps": HOME}, 0.0)
+        assert result is not None
+        moved = haversine_m(result["gps"], HOME)
+        assert moved <= 400.0 * 0.71 + 1.0
+
+    def test_blur_stable_for_same_point(self):
+        blur = LocationBlurFilter(cell_m=400.0)
+        a = blur.apply({"gps": HOME}, 0.0)["gps"]
+        b = blur.apply({"gps": HOME}, 100.0)["gps"]
+        assert a == b
+
+    def test_nearby_points_blur_to_same_cell_center(self):
+        blur = LocationBlurFilter(cell_m=500.0)
+        near = GeoPoint(HOME.lat + 0.0001, HOME.lon)
+        a = blur.apply({"gps": HOME}, 0.0)["gps"]
+        b = blur.apply({"gps": near}, 0.0)["gps"]
+        assert a == b
+
+    def test_other_fields_untouched(self):
+        blur = LocationBlurFilter(cell_m=400.0)
+        result = blur.apply({"gps": HOME, "battery": 0.7}, 0.0)
+        assert result["battery"] == 0.7
+
+
+class TestFieldDropFilter:
+    def test_drops_named_fields(self):
+        drop = FieldDropFilter(fields=frozenset({"network"}))
+        result = drop.apply({"gps": HOME, "network": -70.0}, 0.0)
+        assert result == {"gps": HOME}
+
+    def test_empty_sample_becomes_none(self):
+        drop = FieldDropFilter(fields=frozenset({"gps"}))
+        assert drop.apply({"gps": HOME}, 0.0) is None
+
+
+class TestChain:
+    def test_first_none_wins(self):
+        preferences = UserPreferences(quiet_hours=((0.0, 23 * HOUR),))
+        chain = PrivacyFilterChain(
+            [QuietHoursFilter(preferences), FieldDropFilter(frozenset({"gps"}))]
+        )
+        assert chain.apply({"gps": HOME}, HOUR) is None
+
+    def test_from_preferences_composition(self):
+        preferences = UserPreferences(
+            quiet_hours=((1 * HOUR, 2 * HOUR),),
+            forbidden_zones=((HOME, 150.0),),
+            blur_cell_m=300.0,
+        )
+        chain = PrivacyFilterChain.from_preferences(preferences)
+        # quiet hours dominate
+        assert chain.apply({"gps": HOME}, 1.5 * HOUR) is None
+        # forbidden zone dominates outside quiet hours
+        assert chain.apply({"gps": HOME}, 12 * HOUR) is None
+        # elsewhere: blurred but kept
+        far = GeoPoint(44.85, -0.55)
+        result = chain.apply({"gps": far}, 12 * HOUR)
+        assert result is not None
+        assert result["gps"] != far

@@ -1,0 +1,92 @@
+"""Unit tests for virtual-sensor scheduling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.apisense.scheduling import (
+    CoverageGreedyStrategy,
+    EnergyAwareStrategy,
+    FairBudgetStrategy,
+    RoundRobinStrategy,
+)
+from repro.geo.grid import SpatialGrid
+from tests.apisense.conftest import build_device
+from repro.apisense.battery import Battery, BatteryModel
+
+
+@pytest.fixture()
+def devices(small_population, sensor_suite):
+    return [
+        build_device(small_population, sensor_suite, index=i)
+        for i in range(len(small_population.dataset))
+    ]
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self, devices, rng):
+        strategy = RoundRobinStrategy()
+        picks = [strategy.select(devices, 0.0, rng).device_id for _ in range(10)]
+        expected = [devices[i % 5].device_id for i in range(10)]
+        assert picks == expected
+
+    def test_empty_list(self, rng):
+        assert RoundRobinStrategy().select([], 0.0, rng) is None
+
+    def test_adapts_to_shrinking_pool(self, devices, rng):
+        strategy = RoundRobinStrategy()
+        strategy.select(devices, 0.0, rng)
+        pick = strategy.select(devices[:2], 0.0, rng)
+        assert pick in devices[:2]
+
+
+class TestEnergyAware:
+    def test_prefers_full_batteries(self, devices, rng):
+        # Give device 0 a full battery, the rest nearly empty.
+        devices[0].battery = Battery(BatteryModel(charge_per_hour=0.0), level=1.0, time=8 * 3600)
+        for device in devices[1:]:
+            device.battery = Battery(BatteryModel(charge_per_hour=0.0), level=0.05, time=8 * 3600)
+        strategy = EnergyAwareStrategy(alpha=3.0)
+        picks = [
+            strategy.select(devices, 8 * 3600.0, rng).device_id for _ in range(100)
+        ]
+        share = picks.count(devices[0].device_id) / len(picks)
+        assert share > 0.9
+
+    def test_uniform_when_equal(self, devices, rng):
+        strategy = EnergyAwareStrategy(alpha=2.0)
+        picks = [strategy.select(devices, 0.0, rng).device_id for _ in range(300)]
+        counts = {d.device_id: picks.count(d.device_id) for d in devices}
+        assert min(counts.values()) > 20  # no starvation
+
+    def test_empty_list(self, rng):
+        assert EnergyAwareStrategy().select([], 0.0, rng) is None
+
+
+class TestCoverageGreedy:
+    def test_spreads_over_cells(self, devices, rng, small_population):
+        grid = SpatialGrid(small_population.city.bounding_box, cell_size_m=1000.0)
+        strategy = CoverageGreedyStrategy(grid)
+        time = 12 * 3600.0
+        first = strategy.select(devices, time, rng)
+        second = strategy.select(devices, time, rng)
+        # Second pick must avoid the cell just served (if another exists).
+        cell_first = grid.cell_of(first.position(time))
+        cell_second = grid.cell_of(second.position(time))
+        occupied_cells = {grid.cell_of(d.position(time)) for d in devices}
+        if len(occupied_cells) > 1:
+            assert cell_second != cell_first
+
+    def test_empty_list(self, rng, small_population):
+        grid = SpatialGrid(small_population.city.bounding_box, cell_size_m=1000.0)
+        assert CoverageGreedyStrategy(grid).select([], 0.0, rng) is None
+
+
+class TestFairBudget:
+    def test_equalizes_counts(self, devices, rng):
+        strategy = FairBudgetStrategy()
+        picks = [strategy.select(devices, 0.0, rng).device_id for _ in range(25)]
+        counts = {d.device_id: picks.count(d.device_id) for d in devices}
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_empty_list(self, rng):
+        assert FairBudgetStrategy().select([], 0.0, rng) is None

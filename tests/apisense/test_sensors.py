@@ -1,0 +1,80 @@
+"""Unit tests for sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.apisense.sensors import (
+    AccelerometerSensor,
+    BatterySensor,
+    GpsSensor,
+    NetworkQualitySensor,
+    default_sensor_suite,
+)
+from repro.errors import PlatformError
+from repro.geo.distance import haversine_m
+from repro.geo.point import GeoPoint
+from repro.units import HOUR
+
+
+class TestSensorSuite:
+    def test_default_suite_contents(self, sensor_suite):
+        assert sensor_suite.names() == {"gps", "battery", "network", "accelerometer"}
+        assert "gps" in sensor_suite
+
+    def test_unknown_sensor_raises(self, sensor_suite):
+        with pytest.raises(PlatformError):
+            sensor_suite.get("thermometer")
+
+    def test_deterministic_towers(self, test_city):
+        a = default_sensor_suite(test_city, np.random.default_rng(3))
+        b = default_sensor_suite(test_city, np.random.default_rng(3))
+        assert a.get("network").towers == b.get("network").towers
+
+
+class TestGpsSensor(object):
+    def test_reads_trajectory_position(self, device, rng):
+        position = GpsSensor().read(device, 2 * HOUR, rng)
+        assert isinstance(position, GeoPoint)
+        expected = device.trajectory.point_at_time(2 * HOUR)
+        assert haversine_m(position, expected) < 1.0
+
+
+class TestBatterySensor:
+    def test_reads_level(self, device, rng):
+        level = BatterySensor().read(device, 12 * HOUR, rng)
+        assert 0.0 <= level <= 1.0
+
+
+class TestNetworkSensor:
+    def test_requires_towers(self):
+        with pytest.raises(PlatformError):
+            NetworkQualitySensor(towers=())
+
+    def test_rssi_range(self, device, rng):
+        sensor = device.sensors.get("network")
+        for hour in range(0, 24, 3):
+            rssi = sensor.read(device, hour * HOUR, rng)
+            assert -120.0 <= rssi <= -40.0
+
+    def test_signal_decays_with_distance(self, device):
+        tower = device.trajectory.point_at_time(0)
+        sensor = NetworkQualitySensor(towers=(tower,), shadowing_db=0.0)
+        rng = np.random.default_rng(0)
+        near = sensor.read(device, 0.0, rng)
+
+        far_tower = GeoPoint(tower.lat + 0.05, tower.lon)
+        far_sensor = NetworkQualitySensor(towers=(far_tower,), shadowing_db=0.0)
+        far = far_sensor.read(device, 0.0, rng)
+        assert near > far
+
+
+class TestAccelerometerSensor:
+    def test_still_at_home_at_night(self, device, rng):
+        # 3 AM: everyone is home; activity should be near zero.
+        activity = AccelerometerSensor(noise=0.0).read(device, 3 * HOUR, rng)
+        assert activity < 1.0
+
+    def test_nonnegative(self, device, rng):
+        sensor = AccelerometerSensor(noise=0.5)
+        for hour in range(24):
+            assert sensor.read(device, hour * HOUR, rng) >= 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for the transport model and lossy-uplink behaviour."""
+
+import pytest
+
+from repro.apisense import Campaign, CampaignConfig, SensingTask
+from repro.apisense.transport import Transport
+from repro.errors import PlatformError
+from repro.simulation import Simulator
+from repro.units import DAY
+
+
+class TestTransport:
+    def test_parameter_validation(self):
+        with pytest.raises(PlatformError):
+            Transport(latency_mean=-1.0)
+        with pytest.raises(PlatformError):
+            Transport(loss=1.0)
+        with pytest.raises(PlatformError):
+            Transport(loss=-0.1)
+
+    def test_lossless_always_delivers(self):
+        sim = Simulator()
+        transport = Transport(loss=0.0, seed=1)
+        delivered = []
+        for i in range(50):
+            assert transport.send(sim, lambda i=i: delivered.append(i))
+        sim.run()
+        assert len(delivered) == 50
+        assert transport.stats.loss_rate == 0.0
+
+    def test_latency_applied(self):
+        sim = Simulator()
+        transport = Transport(latency_mean=0.5, latency_jitter=0.0, seed=1)
+        times = []
+        transport.send(sim, lambda: times.append(sim.now))
+        sim.run()
+        assert times[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_loss_rate_converges(self):
+        sim = Simulator()
+        transport = Transport(loss=0.3, seed=2)
+        outcomes = [transport.send(sim, lambda: None) for _ in range(1000)]
+        observed = 1.0 - sum(outcomes) / len(outcomes)
+        assert observed == pytest.approx(0.3, abs=0.05)
+        assert transport.stats.loss_rate == pytest.approx(observed)
+
+    def test_payload_accounting(self):
+        sim = Simulator()
+        transport = Transport(seed=3)
+        transport.send(sim, lambda: None, payload_items=25)
+        assert transport.stats.payload_items == 25
+
+
+class TestLossyCampaign:
+    def _run(self, population, loss: float):
+        campaign = Campaign(
+            population,
+            config=CampaignConfig(n_days=2, seed=4, uplink_loss=loss),
+        )
+        honeycomb = campaign.deploy(
+            SensingTask(
+                name="study",
+                sensors=("gps",),
+                sampling_period=300.0,
+                upload_period=1800.0,
+                end=2 * DAY,
+            )
+        )
+        report = campaign.run()
+        return campaign, honeycomb, report
+
+    def test_store_and_forward_recovers_data(self, small_population):
+        """Lost uploads are retried: collected volume under 20 % loss must
+        stay close to the lossless run (freshness, not data, is lost)."""
+        _, _, lossless = self._run(small_population, loss=0.0)
+        campaign, _, lossy = self._run(small_population, loss=0.2)
+        assert campaign.hive.transport.stats.messages_lost > 0
+        assert lossy.total_records >= lossless.total_records * 0.75
+
+    def test_failed_uploads_counted(self, small_population):
+        campaign, _, _ = self._run(small_population, loss=0.3)
+        failed = sum(
+            stats.uploads_failed
+            for device in campaign.devices
+            for stats in device.stats.values()
+        )
+        assert failed > 0
+
+    def test_lost_offers_reduce_initial_acceptance(self, small_population):
+        """Offers ride the lossy downlink too: with heavy loss, fewer
+        devices start the task on day one (the daily participation pass
+        recovers them later)."""
+        _, _, lossless = self._run(small_population, loss=0.0)
+        _, _, lossy = self._run(small_population, loss=0.6)
+        assert (
+            lossy.acceptance_rate_per_task["study"]
+            <= lossless.acceptance_rate_per_task["study"]
+        )

@@ -1,0 +1,101 @@
+"""Unit tests for task script vetting."""
+
+import pytest
+
+from repro.apisense.tasks import SensingTask
+from repro.apisense.vetting import dry_run_task
+
+
+def task_with(script=None, sensors=("gps", "battery")):
+    return SensingTask(name="vet-me", sensors=sensors, script=script)
+
+
+class TestDryRun:
+    def test_scriptless_task_passes_trivially(self):
+        report = dry_run_task(task_with())
+        assert report.errors == 0
+        assert report.dropped == 0
+        assert report.acceptable()
+
+    def test_clean_script_passes(self):
+        report = dry_run_task(task_with(script=lambda values: values))
+        assert report.error_rate == 0.0
+        assert report.acceptable()
+
+    def test_crashing_script_rejected(self):
+        def explode(values):
+            raise RuntimeError("boom")
+
+        report = dry_run_task(task_with(script=explode))
+        assert report.error_rate == 1.0
+        assert not report.acceptable()
+        assert any("boom" in message for message in report.error_messages)
+
+    def test_error_messages_deduplicated_and_capped(self):
+        counter = {"n": 0}
+
+        def varied_errors(values):
+            counter["n"] += 1
+            raise ValueError(f"error-{counter['n'] % 20}")
+
+        report = dry_run_task(task_with(script=varied_errors), n_samples=100)
+        assert len(report.error_messages) == 10
+
+    def test_drop_everything_rejected(self):
+        report = dry_run_task(task_with(script=lambda values: None))
+        assert report.drop_rate == 1.0
+        assert not report.acceptable()
+
+    def test_selective_filter_accepted(self):
+        def keep_low_battery(values):
+            return values if values["battery"] < 0.5 else None
+
+        report = dry_run_task(task_with(script=keep_low_battery), n_samples=400)
+        assert 0.3 < report.drop_rate < 0.7
+        assert report.acceptable()
+
+    def test_deterministic_per_seed(self):
+        def flaky(values):
+            if values["battery"] > 0.9:
+                raise RuntimeError("rare")
+            return values
+
+        a = dry_run_task(task_with(script=flaky), seed=5)
+        b = dry_run_task(task_with(script=flaky), seed=5)
+        assert a.errors == b.errors
+
+    def test_deploy_with_vetting_blocks_bad_script(self, sim, hive):
+        from repro.apisense.honeycomb import Honeycomb
+        from repro.errors import TaskValidationError
+
+        def explode(values):
+            raise RuntimeError("bad script")
+
+        honeycomb = Honeycomb("lab", hive)
+        with pytest.raises(TaskValidationError) as error:
+            honeycomb.deploy(task_with(script=explode), vet=True)
+        assert "failed vetting" in str(error.value)
+        assert honeycomb.tasks == []  # nothing was registered
+
+    def test_deploy_with_vetting_passes_good_script(self, sim, hive):
+        from repro.apisense.honeycomb import Honeycomb
+
+        honeycomb = Honeycomb("lab", hive)
+        honeycomb.deploy(task_with(script=lambda values: values), vet=True)
+        assert len(honeycomb.tasks) == 1
+
+    def test_all_sensor_kinds_synthesized(self):
+        seen = {}
+
+        def record_types(values):
+            seen.update({k: type(v).__name__ for k, v in values.items()})
+            return values
+
+        task = SensingTask(
+            name="v",
+            sensors=("gps", "battery", "network", "accelerometer"),
+            script=record_types,
+        )
+        dry_run_task(task, n_samples=5)
+        assert seen["gps"] == "GeoPoint"
+        assert seen["battery"] == "float"

@@ -1,0 +1,93 @@
+"""Unit tests for virtual sensors."""
+
+import pytest
+
+from repro.apisense.battery import Battery, BatteryModel
+from repro.apisense.preferences import UserPreferences
+from repro.apisense.scheduling import EnergyAwareStrategy, RoundRobinStrategy
+from repro.apisense.virtual_sensor import VirtualSensor
+from repro.errors import PlatformError
+from repro.simulation import Simulator
+from repro.units import HOUR
+from tests.apisense.conftest import build_device
+
+
+@pytest.fixture()
+def vsensor_parts(small_population, sensor_suite):
+    sim = Simulator(start_time=8 * HOUR)
+    devices = [
+        build_device(small_population, sensor_suite, index=i)
+        for i in range(len(small_population.dataset))
+    ]
+    return sim, devices
+
+
+class TestConstruction:
+    def test_needs_devices(self, vsensor_parts):
+        sim, _ = vsensor_parts
+        with pytest.raises(PlatformError):
+            VirtualSensor("v", "gps", [], RoundRobinStrategy(), sim)
+
+    def test_members_must_have_sensor(self, vsensor_parts):
+        sim, devices = vsensor_parts
+        with pytest.raises(PlatformError):
+            VirtualSensor("v", "thermometer", devices, RoundRobinStrategy(), sim)
+
+
+class TestReads:
+    def test_read_returns_device_and_value(self, vsensor_parts):
+        sim, devices = vsensor_parts
+        sensor = VirtualSensor("v", "battery", devices, RoundRobinStrategy(), sim)
+        result = sensor.read()
+        assert result is not None
+        device_id, value = result
+        assert device_id in {d.device_id for d in devices}
+        assert 0.0 <= value <= 1.0
+
+    def test_round_robin_spreads_reads(self, vsensor_parts):
+        sim, devices = vsensor_parts
+        sensor = VirtualSensor("v", "gps", devices, RoundRobinStrategy(), sim)
+        for _ in range(10):
+            sensor.read()
+        assert len(sensor.stats.served_per_device) == len(devices)
+        assert sensor.stats.reads_served == 10
+        assert sensor.stats.availability == 1.0
+
+    def test_unavailable_when_all_dead(self, small_population, sensor_suite):
+        sim = Simulator(start_time=12 * HOUR)
+        dead = []
+        for index in range(3):
+            device = build_device(small_population, sensor_suite, index=index)
+            device.battery = Battery(
+                BatteryModel(charge_per_hour=0.0), level=0.0, time=12 * HOUR
+            )
+            dead.append(device)
+        sensor = VirtualSensor("v", "gps", dead, RoundRobinStrategy(), sim)
+        assert sensor.read() is None
+        assert sensor.stats.reads_unavailable == 1
+
+    def test_quiet_users_not_selected(self, small_population, sensor_suite):
+        sim = Simulator(start_time=12 * HOUR)
+        quiet_prefs = UserPreferences(quiet_hours=((11 * HOUR, 13 * HOUR),))
+        devices = [
+            build_device(small_population, sensor_suite, index=0, preferences=quiet_prefs),
+            build_device(small_population, sensor_suite, index=1),
+        ]
+        sensor = VirtualSensor("v", "gps", devices, RoundRobinStrategy(), sim)
+        for _ in range(6):
+            result = sensor.read()
+            assert result is not None
+            assert result[0] == devices[1].device_id
+
+
+class TestFairness:
+    def test_battery_fairness_index(self, vsensor_parts):
+        sim, devices = vsensor_parts
+        sensor = VirtualSensor("v", "gps", devices, EnergyAwareStrategy(), sim)
+        fairness = sensor.battery_fairness()
+        assert 0.0 < fairness <= 1.0
+
+    def test_levels_reported_for_all(self, vsensor_parts):
+        sim, devices = vsensor_parts
+        sensor = VirtualSensor("v", "gps", devices, EnergyAwareStrategy(), sim)
+        assert set(sensor.battery_levels()) == {d.device_id for d in devices}

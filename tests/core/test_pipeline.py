@@ -1,0 +1,91 @@
+"""Integration tests for the continuous (budgeted) publisher."""
+
+import pytest
+
+from repro.core import CrowdedPlacesObjective, PrivacyRequirement, PrivApi
+from repro.core.pipeline import ContinuousPublisher
+from repro.privacy.budget import PrivacyBudgetLedger
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    SpeedSmoothingMechanism,
+)
+from repro.units import DAY
+
+
+@pytest.fixture()
+def batches(medium_population):
+    """Three two-day batches from the six-day population."""
+    dataset = medium_population.dataset
+    return [
+        dataset.slice_time(2 * i * DAY, 2 * (i + 1) * DAY) for i in range(3)
+    ]
+
+
+def make_publisher(ledger: PrivacyBudgetLedger, mechanisms=None) -> ContinuousPublisher:
+    return ContinuousPublisher(
+        privapi=PrivApi(
+            mechanisms=mechanisms or [SpeedSmoothingMechanism(100.0)], seed=1
+        ),
+        ledger=ledger,
+        requirement=PrivacyRequirement(max_poi_recall=0.3),
+        objective=CrowdedPlacesObjective(),
+    )
+
+
+class TestContinuousPublishing:
+    def test_epochs_within_cap_publish(self, batches):
+        ledger = PrivacyBudgetLedger(epsilon_cap=1.0, exposure_cap=5)
+        publisher = make_publisher(ledger)
+        for batch in batches:
+            record = publisher.publish_epoch(batch)
+            assert record.published, record.refused_reason
+        assert publisher.epochs_published == 3
+
+    def test_exposure_cap_blocks_later_epochs(self, batches):
+        ledger = PrivacyBudgetLedger(epsilon_cap=10.0, exposure_cap=2)
+        publisher = make_publisher(ledger)
+        outcomes = [publisher.publish_epoch(batch).published for batch in batches]
+        assert outcomes[:2] == [True, True]
+        assert outcomes[2] is False
+        refusal = publisher.history[2]
+        assert refusal.refused_reason is not None
+        assert "budget" in refusal.refused_reason
+
+    def test_structural_mechanism_spends_no_epsilon(self, batches):
+        ledger = PrivacyBudgetLedger(epsilon_cap=0.001, exposure_cap=10)
+        publisher = make_publisher(ledger)  # smoothing: epsilon cost 0
+        record = publisher.publish_epoch(batches[0])
+        assert record.published
+        for user in record.users:
+            assert ledger.account(user).epsilon_spent == 0.0
+
+    def test_noise_mechanism_charges_epsilon(self, batches):
+        ledger = PrivacyBudgetLedger(epsilon_cap=10.0, exposure_cap=10)
+        publisher = make_publisher(
+            ledger, mechanisms=[GeoIndistinguishabilityMechanism(0.001)]
+        )
+        # Permissive bar so the noisy mechanism can be chosen.
+        publisher.requirement = PrivacyRequirement(max_poi_recall=1.0)
+        record = publisher.publish_epoch(batches[0])
+        assert record.published
+        charged = ledger.account(record.users[0]).epsilon_spent
+        assert charged == pytest.approx(0.1)  # 0.001/m * 100 scale
+
+    def test_unsatisfiable_bar_refuses_without_charging(self, batches):
+        ledger = PrivacyBudgetLedger(epsilon_cap=1.0, exposure_cap=5)
+        publisher = make_publisher(
+            ledger, mechanisms=[GeoIndistinguishabilityMechanism(0.05)]
+        )
+        publisher.requirement = PrivacyRequirement(max_poi_recall=0.0)
+        record = publisher.publish_epoch(batches[0])
+        assert not record.published
+        assert record.chosen is None
+        assert not ledger.summary()  # nobody charged
+
+    def test_history_is_complete(self, batches):
+        ledger = PrivacyBudgetLedger(epsilon_cap=1.0, exposure_cap=1)
+        publisher = make_publisher(ledger)
+        for batch in batches:
+            publisher.publish_epoch(batch)
+        assert [record.epoch for record in publisher.history] == [0, 1, 2]
+        assert publisher.epochs_published == 1

@@ -1,0 +1,170 @@
+"""Unit + integration tests for the PRIVAPI middleware."""
+
+import pytest
+
+from repro.core.privapi import PrivApi, default_registry
+from repro.core.report import PublicationReport
+from repro.core.requirements import (
+    CrowdedPlacesObjective,
+    DistortionObjective,
+    PrivacyRequirement,
+    TrafficFlowObjective,
+)
+from repro.errors import PrivacyRequirementError
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    IdentityMechanism,
+    SpeedSmoothingMechanism,
+)
+
+
+class TestConstruction:
+    def test_default_registry_nonempty(self):
+        assert len(default_registry()) >= 5
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(PrivacyRequirementError):
+            PrivApi(mechanisms=[])
+
+
+class TestAudit:
+    @pytest.fixture(scope="class")
+    def privapi(self):
+        return PrivApi(
+            mechanisms=[
+                IdentityMechanism(),
+                GeoIndistinguishabilityMechanism(0.01),
+                SpeedSmoothingMechanism(100.0),
+            ],
+            seed=1,
+        )
+
+    def test_identity_fails_privacy(self, privapi, medium_population):
+        requirement = PrivacyRequirement(max_poi_recall=0.25)
+        evaluation = privapi.audit_mechanism(
+            IdentityMechanism(),
+            medium_population.dataset,
+            requirement,
+            CrowdedPlacesObjective(),
+        )
+        assert not evaluation.satisfies_privacy
+        assert evaluation.poi_recall > 0.8
+        assert evaluation.utility == pytest.approx(1.0)
+
+    def test_smoothing_passes_privacy(self, privapi, medium_population):
+        requirement = PrivacyRequirement(max_poi_recall=0.25)
+        evaluation = privapi.audit_mechanism(
+            SpeedSmoothingMechanism(100.0),
+            medium_population.dataset,
+            requirement,
+            CrowdedPlacesObjective(),
+        )
+        assert evaluation.satisfies_privacy
+        assert evaluation.utility > 0.4
+
+    def test_reidentification_audit_optional(self, privapi, medium_population):
+        requirement = PrivacyRequirement(
+            max_poi_recall=1.0, max_reidentification=0.5
+        )
+        evaluation = privapi.audit_mechanism(
+            IdentityMechanism(),
+            medium_population.dataset,
+            requirement,
+            DistortionObjective(),
+        )
+        assert evaluation.reidentification is not None
+        assert evaluation.reidentification > 0.5
+        assert not evaluation.satisfies_privacy
+
+
+class TestPublish:
+    def test_strict_publication_chooses_smoothing(self, medium_population):
+        privapi = PrivApi(seed=2)
+        result = privapi.publish(
+            medium_population.dataset,
+            requirement=PrivacyRequirement(max_poi_recall=0.25),
+            objective=CrowdedPlacesObjective(),
+        )
+        assert result.dataset is not None
+        assert result.report.chosen is not None
+        assert "speed-smoothing" in result.report.chosen
+
+    def test_published_dataset_is_pseudonymized(self, medium_population):
+        privapi = PrivApi(seed=2)
+        result = privapi.publish(
+            medium_population.dataset,
+            requirement=PrivacyRequirement(max_poi_recall=0.25),
+        )
+        assert result.dataset is not None
+        raw_users = set(medium_population.dataset.users)
+        assert not (set(result.dataset.users) & raw_users)
+        assert result.pseudonym_mapping is not None
+        assert set(result.pseudonym_mapping.values()) <= raw_users
+
+    def test_impossible_requirement_strict_returns_nothing(self, medium_population):
+        privapi = PrivApi(
+            mechanisms=[IdentityMechanism(), GeoIndistinguishabilityMechanism(0.05)],
+            seed=2,
+        )
+        result = privapi.publish(
+            medium_population.dataset,
+            requirement=PrivacyRequirement(max_poi_recall=0.0),
+            strict=True,
+        )
+        assert result.dataset is None
+        assert result.report.chosen is None
+
+    def test_impossible_requirement_lenient_falls_back(self, medium_population):
+        privapi = PrivApi(
+            mechanisms=[IdentityMechanism(), GeoIndistinguishabilityMechanism(0.005)],
+            seed=2,
+        )
+        result = privapi.publish(
+            medium_population.dataset,
+            requirement=PrivacyRequirement(max_poi_recall=0.0),
+            strict=False,
+        )
+        assert result.dataset is not None
+        # The fallback is the most private candidate, not the best utility.
+        assert "geo-indistinguishability" in result.report.chosen
+
+    def test_objective_changes_choice_possible(self, medium_population):
+        """With a permissive privacy bar, the distortion objective should
+        prefer light noise while crowded-places can prefer smoothing."""
+        mechanisms = [
+            GeoIndistinguishabilityMechanism(0.05),  # ~40 m mean displacement
+            SpeedSmoothingMechanism(250.0),
+        ]
+        privapi = PrivApi(mechanisms=mechanisms, seed=2)
+        permissive = PrivacyRequirement(max_poi_recall=1.0)
+        by_distortion = privapi.publish(
+            medium_population.dataset, permissive, DistortionObjective()
+        )
+        assert "geo-indistinguishability" in by_distortion.report.chosen
+
+    def test_report_rows_complete(self, medium_population):
+        privapi = PrivApi(
+            mechanisms=[IdentityMechanism(), SpeedSmoothingMechanism(100.0)], seed=2
+        )
+        result = privapi.publish(
+            medium_population.dataset,
+            requirement=PrivacyRequirement(max_poi_recall=0.25),
+        )
+        report = result.report
+        assert isinstance(report, PublicationReport)
+        assert len(report.evaluations) == 2
+        text = report.to_text()
+        assert "identity" in text and "speed-smoothing" in text
+        assert "chosen:" in text
+
+    def test_chosen_evaluation_lookup(self, medium_population):
+        privapi = PrivApi(
+            mechanisms=[SpeedSmoothingMechanism(100.0)], seed=2
+        )
+        result = privapi.publish(
+            medium_population.dataset,
+            requirement=PrivacyRequirement(max_poi_recall=0.3),
+        )
+        chosen = result.report.chosen_evaluation()
+        assert chosen is not None
+        assert chosen.satisfies_privacy

@@ -1,0 +1,81 @@
+"""Unit tests for publication reports."""
+
+from repro.core.report import MechanismEvaluation, PublicationReport
+
+
+def evaluation(name: str, ok: bool = True, utility: float = 0.5) -> MechanismEvaluation:
+    return MechanismEvaluation(
+        mechanism=name,
+        parameters={"x": 1},
+        poi_recall=0.1,
+        reidentification=None,
+        utility=utility,
+        suppression=0.0,
+        satisfies_privacy=ok,
+    )
+
+
+class TestMechanismEvaluation:
+    def test_summary_row_ok(self):
+        row = evaluation("mech-a").summary_row()
+        assert "mech-a" in row
+        assert "[ok]" in row
+        assert "reident=-" in row
+
+    def test_summary_row_rejected(self):
+        row = evaluation("mech-b", ok=False).summary_row()
+        assert "[REJECTED]" in row
+
+    def test_summary_row_with_reident(self):
+        e = MechanismEvaluation(
+            mechanism="m",
+            parameters={},
+            poi_recall=0.5,
+            reidentification=0.75,
+            utility=0.2,
+            suppression=0.1,
+            satisfies_privacy=False,
+        )
+        assert "reident=0.75" in e.summary_row()
+
+
+class TestPublicationReport:
+    def test_chosen_evaluation_found(self):
+        report = PublicationReport(
+            objective="crowded-places",
+            requirement_max_poi_recall=0.2,
+            evaluations=(evaluation("a"), evaluation("b", utility=0.9)),
+            chosen="b",
+        )
+        chosen = report.chosen_evaluation()
+        assert chosen is not None and chosen.mechanism == "b"
+
+    def test_chosen_evaluation_missing(self):
+        report = PublicationReport(
+            objective="o",
+            requirement_max_poi_recall=0.2,
+            evaluations=(evaluation("a"),),
+            chosen=None,
+        )
+        assert report.chosen_evaluation() is None
+
+    def test_to_text_success(self):
+        report = PublicationReport(
+            objective="traffic-flow",
+            requirement_max_poi_recall=0.25,
+            evaluations=(evaluation("a"), evaluation("b")),
+            chosen="a",
+        )
+        text = report.to_text()
+        assert "traffic-flow" in text
+        assert "chosen: a" in text
+        assert text.count("\n") >= 4
+
+    def test_to_text_failure(self):
+        report = PublicationReport(
+            objective="o",
+            requirement_max_poi_recall=0.0,
+            evaluations=(evaluation("a", ok=False),),
+            chosen=None,
+        )
+        assert "nothing published" in report.to_text()

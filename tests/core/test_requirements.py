@@ -1,0 +1,92 @@
+"""Unit tests for privacy requirements and utility objectives."""
+
+import pytest
+
+from repro.core.requirements import (
+    CrowdedPlacesObjective,
+    DistortionObjective,
+    PrivacyRequirement,
+    TrafficFlowObjective,
+)
+from repro.errors import PrivacyRequirementError
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    IdentityMechanism,
+    SpeedSmoothingMechanism,
+)
+
+
+class TestPrivacyRequirement:
+    def test_defaults(self):
+        requirement = PrivacyRequirement()
+        assert requirement.max_poi_recall == 0.2
+        assert requirement.max_reidentification is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_poi_recall": -0.1},
+            {"max_poi_recall": 1.5},
+            {"max_reidentification": 2.0},
+            {"attack_radius_m": 0.0},
+            {"attacker_denoise_window": 4},
+            {"attacker_denoise_window": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(PrivacyRequirementError):
+            PrivacyRequirement(**kwargs)
+
+
+OBJECTIVES = [
+    CrowdedPlacesObjective(),
+    TrafficFlowObjective(),
+    DistortionObjective(),
+]
+
+
+@pytest.mark.parametrize("objective", OBJECTIVES, ids=lambda o: o.name)
+class TestObjectiveContract:
+    def test_identity_scores_high(self, objective, small_population):
+        protected = IdentityMechanism().protect(small_population.dataset)
+        score = objective.score(small_population.dataset, protected)
+        assert score >= 0.95
+
+    def test_score_in_unit_interval(self, objective, small_population):
+        protected = GeoIndistinguishabilityMechanism(0.002).protect(
+            small_population.dataset, seed=1
+        )
+        score = objective.score(small_population.dataset, protected)
+        assert 0.0 <= score <= 1.0
+
+    def test_empty_protected_scores_zero_or_low(self, objective, small_population):
+        from repro.mobility.dataset import MobilityDataset
+
+        score = objective.score(small_population.dataset, MobilityDataset([]))
+        assert score <= 0.2
+
+
+class TestObjectiveDiscrimination:
+    def test_distortion_ranks_noise_levels(self, small_population):
+        objective = DistortionObjective()
+        mild = GeoIndistinguishabilityMechanism(0.05).protect(
+            small_population.dataset, seed=1
+        )
+        harsh = GeoIndistinguishabilityMechanism(0.001).protect(
+            small_population.dataset, seed=1
+        )
+        assert objective.score(small_population.dataset, mild) > objective.score(
+            small_population.dataset, harsh
+        )
+
+    def test_crowded_places_tolerates_smoothing(self, medium_population):
+        objective = CrowdedPlacesObjective()
+        smoothed = SpeedSmoothingMechanism(100.0).protect(
+            medium_population.dataset, seed=1
+        )
+        harsh_noise = GeoIndistinguishabilityMechanism(0.001).protect(
+            medium_population.dataset, seed=1
+        )
+        assert objective.score(medium_population.dataset, smoothed) > objective.score(
+            medium_population.dataset, harsh_noise
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for PRIVAPI parameter tuning."""
+
+import pytest
+
+from repro.core import (
+    CrowdedPlacesObjective,
+    ParameterSearch,
+    PrivacyRequirement,
+    PrivApi,
+    tune_mechanism,
+)
+from repro.errors import PrivacyRequirementError
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    SpeedSmoothingMechanism,
+)
+
+
+class TestParameterSearch:
+    def test_empty_values_rejected(self):
+        with pytest.raises(PrivacyRequirementError):
+            ParameterSearch("s", SpeedSmoothingMechanism, [])
+
+
+class TestTuning:
+    @pytest.fixture(scope="class")
+    def privapi(self):
+        return PrivApi(mechanisms=[SpeedSmoothingMechanism(100.0)], seed=3)
+
+    def test_finds_compliant_smoothing_step(self, privapi, medium_population):
+        search = ParameterSearch(
+            name="smoothing-step",
+            factory=lambda step: SpeedSmoothingMechanism(epsilon_m=step),
+            values=[100.0, 250.0, 500.0],
+        )
+        result = tune_mechanism(
+            privapi,
+            search,
+            medium_population.dataset,
+            PrivacyRequirement(max_poi_recall=0.25),
+            CrowdedPlacesObjective(),
+        )
+        assert result.satisfied
+        assert result.best_value in search.values
+        assert len(result.evaluations) == 3
+        chosen = result.evaluations[result.best_value]
+        assert chosen.satisfies_privacy
+        # Best = max utility among compliant values.
+        compliant = [e for e in result.evaluations.values() if e.satisfies_privacy]
+        assert chosen.utility == max(e.utility for e in compliant)
+
+    def test_impossible_bar_unsatisfied(self, privapi, medium_population):
+        search = ParameterSearch(
+            name="geo-ind",
+            factory=lambda eps: GeoIndistinguishabilityMechanism(epsilon=eps),
+            values=[0.05, 0.01],  # both leak nearly everything
+        )
+        result = tune_mechanism(
+            privapi,
+            search,
+            medium_population.dataset,
+            PrivacyRequirement(max_poi_recall=0.05),
+            CrowdedPlacesObjective(),
+        )
+        assert not result.satisfied
+        assert result.best_mechanism is None
+        assert all(
+            not evaluation.satisfies_privacy
+            for evaluation in result.evaluations.values()
+        )
+
+    def test_frontier_monotone_privacy(self, privapi, medium_population):
+        """Coarser smoothing -> weaker attack recall (the frontier)."""
+        search = ParameterSearch(
+            name="smoothing-step",
+            factory=lambda step: SpeedSmoothingMechanism(epsilon_m=step),
+            values=[100.0, 400.0],
+        )
+        result = tune_mechanism(
+            privapi,
+            search,
+            medium_population.dataset,
+            PrivacyRequirement(max_poi_recall=1.0),
+            CrowdedPlacesObjective(),
+        )
+        assert (
+            result.evaluations[400.0].poi_recall
+            <= result.evaluations[100.0].poi_recall + 0.05
+        )

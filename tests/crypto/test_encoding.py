@@ -1,0 +1,44 @@
+"""Unit tests for fixed-point encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.encoding import FixedPointCodec
+from repro.errors import CryptoError
+
+
+class TestCodec:
+    def test_default_scale(self):
+        assert FixedPointCodec().scale == 1000
+
+    def test_negative_decimals_rejected(self):
+        with pytest.raises(CryptoError):
+            FixedPointCodec(decimals=-1)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100)
+    def test_roundtrip_within_precision(self, value):
+        codec = FixedPointCodec(decimals=3)
+        assert codec.decode(codec.encode(value)) == pytest.approx(value, abs=5e-4)
+
+    def test_sum_decoding(self):
+        codec = FixedPointCodec(decimals=2)
+        values = [1.25, -0.75, 3.5]
+        encoded_sum = sum(codec.encode(v) for v in values)
+        assert codec.decode_sum(encoded_sum) == pytest.approx(4.0)
+
+    def test_mean_decoding(self):
+        codec = FixedPointCodec(decimals=2)
+        values = [2.0, 4.0, 9.0]
+        encoded_sum = sum(codec.encode(v) for v in values)
+        assert codec.decode_mean(encoded_sum, 3) == pytest.approx(5.0)
+
+    def test_mean_zero_count_rejected(self):
+        with pytest.raises(CryptoError):
+            FixedPointCodec().decode_mean(100, 0)
+
+    def test_zero_decimals_rounds_to_int(self):
+        codec = FixedPointCodec(decimals=0)
+        assert codec.encode(3.6) == 4
+        assert codec.decode(4) == 4.0

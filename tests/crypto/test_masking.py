@@ -1,0 +1,83 @@
+"""Unit tests for pairwise additive masking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.masking import MODULUS, MaskedAggregation, MaskingParticipant
+from repro.errors import ProtocolError
+
+SEED = b"group-secret"
+
+
+def run_round(values, round_id=0):
+    n = len(values)
+    aggregation = MaskedAggregation(n)
+    for index, value in enumerate(values):
+        participant = MaskingParticipant(index, n, SEED)
+        aggregation.accept(participant.masked_value(value, round_id))
+    return aggregation
+
+
+class TestMaskingCorrectness:
+    def test_sum_recovers(self):
+        values = [1.5, -2.25, 3.0, 0.125, 10.0]
+        assert run_round(values).result_sum() == pytest.approx(sum(values))
+
+    def test_mean(self):
+        values = [2.0, 4.0]
+        assert run_round(values).result_mean() == pytest.approx(3.0)
+
+    def test_negative_sum(self):
+        values = [-5.0, -7.5, 1.0]
+        assert run_round(values).result_sum() == pytest.approx(-11.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=2, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_property(self, values):
+        assert run_round(values).result_sum() == pytest.approx(sum(values), abs=0.01)
+
+    def test_round_separation(self):
+        # Different rounds use different masks but both decode correctly.
+        values = [1.0, 2.0, 3.0]
+        assert run_round(values, round_id=0).result_sum() == pytest.approx(6.0)
+        assert run_round(values, round_id=1).result_sum() == pytest.approx(6.0)
+
+
+class TestMaskingBlinding:
+    def test_masked_values_look_uniform(self):
+        participant = MaskingParticipant(0, 3, SEED)
+        masked = participant.masked_value(5.0)
+        assert masked != 5000  # not the bare encoding
+        assert 0 <= masked < MODULUS
+
+    def test_same_value_different_rounds_differ(self):
+        participant = MaskingParticipant(0, 3, SEED)
+        assert participant.masked_value(5.0, 0) != participant.masked_value(5.0, 1)
+
+
+class TestProtocolErrors:
+    def test_missing_participant_blocks_decode(self):
+        aggregation = MaskedAggregation(3)
+        aggregation.accept(MaskingParticipant(0, 3, SEED).masked_value(1.0))
+        aggregation.accept(MaskingParticipant(1, 3, SEED).masked_value(2.0))
+        with pytest.raises(ProtocolError):
+            aggregation.result_sum()
+
+    def test_extra_participant_rejected(self):
+        aggregation = MaskedAggregation(2)
+        aggregation.accept(MaskingParticipant(0, 2, SEED).masked_value(1.0))
+        aggregation.accept(MaskingParticipant(1, 2, SEED).masked_value(2.0))
+        with pytest.raises(ProtocolError):
+            aggregation.accept(12345)
+
+    def test_too_few_participants_rejected(self):
+        with pytest.raises(ProtocolError):
+            MaskedAggregation(1)
+        with pytest.raises(ProtocolError):
+            MaskingParticipant(0, 1, SEED)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            MaskingParticipant(5, 3, SEED)

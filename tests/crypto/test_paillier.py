@@ -1,0 +1,114 @@
+"""Unit and property tests for the Paillier cryptosystem."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import generate_keypair
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    """A 256-bit test keypair (small = fast; algebra is size-independent)."""
+    return generate_keypair(bits=256, rng=random.Random(42))
+
+
+plaintexts = st.integers(min_value=-(10**20), max_value=10**20)
+
+
+class TestKeyGeneration:
+    def test_modulus_bits(self, keypair):
+        assert keypair.public_key.n.bit_length() == 256
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_keypair(bits=32)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = generate_keypair(128, random.Random(5))
+        b = generate_keypair(128, random.Random(5))
+        assert a.public_key.n == b.public_key.n
+
+
+class TestEncryptDecrypt:
+    @pytest.mark.parametrize("m", [0, 1, -1, 42, -42, 10**9, -(10**9)])
+    def test_roundtrip(self, keypair, m):
+        ciphertext = keypair.public_key.encrypt(m, random.Random(1))
+        assert keypair.private_key.decrypt(ciphertext) == m
+
+    @given(plaintexts)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, m):
+        keypair = generate_keypair(bits=128, rng=random.Random(9))
+        assert keypair.private_key.decrypt(keypair.public_key.encrypt(m)) == m
+
+    def test_overflow_rejected(self, keypair):
+        too_big = keypair.public_key.max_plaintext + 1
+        with pytest.raises(CryptoError):
+            keypair.public_key.encrypt(too_big)
+
+    def test_probabilistic_encryption(self, keypair):
+        a = keypair.public_key.encrypt(7)
+        b = keypair.public_key.encrypt(7)
+        assert a.value != b.value  # fresh randomness each time
+        assert keypair.private_key.decrypt(a) == keypair.private_key.decrypt(b)
+
+    def test_cross_key_decrypt_rejected(self, keypair):
+        other = generate_keypair(bits=128, rng=random.Random(13))
+        ciphertext = other.public_key.encrypt(5)
+        with pytest.raises(CryptoError):
+            keypair.private_key.decrypt(ciphertext)
+
+
+class TestHomomorphism:
+    @given(plaintexts, plaintexts)
+    @settings(max_examples=30, deadline=None)
+    def test_additive(self, a, b):
+        keypair = generate_keypair(bits=160, rng=random.Random(3))
+        encrypted = keypair.public_key.encrypt(a) + keypair.public_key.encrypt(b)
+        assert keypair.private_key.decrypt(encrypted) == a + b
+
+    @given(plaintexts, st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_plaintext_addition(self, a, k):
+        keypair = generate_keypair(bits=160, rng=random.Random(3))
+        encrypted = keypair.public_key.encrypt(a) + k
+        assert keypair.private_key.decrypt(encrypted) == a + k
+
+    @given(st.integers(min_value=-(10**9), max_value=10**9),
+           st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_multiplication(self, a, k):
+        keypair = generate_keypair(bits=160, rng=random.Random(3))
+        encrypted = keypair.public_key.encrypt(a) * k
+        assert keypair.private_key.decrypt(encrypted) == a * k
+
+    def test_subtraction(self, keypair):
+        pk, sk = keypair.public_key, keypair.private_key
+        assert sk.decrypt(pk.encrypt(10) - pk.encrypt(4)) == 6
+        assert sk.decrypt(pk.encrypt(10) - 25) == -15
+
+    def test_negation(self, keypair):
+        assert keypair.private_key.decrypt(-keypair.public_key.encrypt(11)) == -11
+
+    def test_sum_builtin(self, keypair):
+        values = [3, -1, 4, 1, -5, 9]
+        encrypted = [keypair.public_key.encrypt(v) for v in values]
+        total = sum(encrypted[1:], encrypted[0])
+        assert keypair.private_key.decrypt(total) == sum(values)
+
+    def test_cross_key_add_rejected(self, keypair):
+        other = generate_keypair(bits=128, rng=random.Random(21))
+        with pytest.raises(CryptoError):
+            _ = keypair.public_key.encrypt(1) + other.public_key.encrypt(2)
+
+
+class TestRerandomization:
+    def test_value_changes_plaintext_stays(self, keypair):
+        ciphertext = keypair.public_key.encrypt(99, random.Random(2))
+        fresh = ciphertext.rerandomized(random.Random(3))
+        assert fresh.value != ciphertext.value
+        assert keypair.private_key.decrypt(fresh) == 99

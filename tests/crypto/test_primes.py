@@ -1,0 +1,64 @@
+"""Unit tests for prime generation."""
+
+import math
+import random
+
+import pytest
+
+from repro.crypto.primes import is_probable_prime, random_coprime, random_prime
+from repro.errors import CryptoError
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, (1 << 61) - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 91, 561, 1729, 104730, (1 << 61) - 3]
+# 561, 1729 are Carmichael numbers (fool Fermat, not Miller-Rabin).
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_primes_accepted(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_composites_rejected(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_rejected(self):
+        assert not is_probable_prime(-7)
+
+    def test_against_sympy_free_sieve(self):
+        # Check against a simple sieve for all n < 2000.
+        limit = 2000
+        sieve = [True] * limit
+        sieve[0] = sieve[1] = False
+        for i in range(2, int(limit**0.5) + 1):
+            if sieve[i]:
+                for j in range(i * i, limit, i):
+                    sieve[j] = False
+        for n in range(limit):
+            assert is_probable_prime(n) == sieve[n], n
+
+
+class TestRandomPrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(1)
+        for bits in (16, 32, 64, 128):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_deterministic(self):
+        assert random_prime(64, random.Random(7)) == random_prime(64, random.Random(7))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CryptoError):
+            random_prime(4, random.Random(1))
+
+
+class TestRandomCoprime:
+    def test_coprime_and_in_range(self):
+        rng = random.Random(3)
+        n = 3 * 5 * 7 * 11
+        for _ in range(50):
+            r = random_coprime(n, rng)
+            assert 1 <= r < n
+            assert math.gcd(r, n) == 1

@@ -1,0 +1,129 @@
+"""Unit tests for dropout-resilient masking."""
+
+import random
+
+import pytest
+
+from repro.crypto.resilient_masking import (
+    MaskingDealer,
+    ResilientAggregation,
+    ResilientParticipant,
+)
+from repro.errors import ProtocolError
+
+
+def setup(n=5, threshold=3, seed=1):
+    dealer = MaskingDealer(n, threshold, rng=random.Random(seed))
+    return dealer.deal()
+
+
+class TestDealer:
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            MaskingDealer(1, 1)
+        with pytest.raises(ProtocolError):
+            MaskingDealer(4, 5)
+        with pytest.raises(ProtocolError):
+            MaskingDealer(4, 0)
+
+    def test_pairwise_seeds_agree(self):
+        participants = setup()
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert participants[i]._seeds[(i, j)] == participants[j]._seeds[(i, j)]
+
+    def test_every_participant_has_all_shares(self):
+        participants = setup()
+        n_pairs = 5 * 4 // 2
+        for participant in participants:
+            assert len(participant._shares) == n_pairs
+
+
+class TestFullParticipation:
+    def test_sum_recovers_without_dropout(self):
+        participants = setup()
+        values = [1.5, -2.0, 3.25, 0.5, 10.0]
+        aggregation = ResilientAggregation(5, threshold=3)
+        for participant, value in zip(participants, values):
+            aggregation.accept(participant.index, participant.masked_value(value))
+        assert aggregation.dropped == []
+        survivors = {p.index: p for p in participants}
+        total = aggregation.recover_and_sum(survivors)
+        assert total == pytest.approx(sum(values))
+
+    def test_double_submission_rejected(self):
+        participants = setup()
+        aggregation = ResilientAggregation(5, threshold=3)
+        aggregation.accept(0, participants[0].masked_value(1.0))
+        with pytest.raises(ProtocolError):
+            aggregation.accept(0, participants[0].masked_value(1.0))
+
+    def test_unknown_index_rejected(self):
+        aggregation = ResilientAggregation(5, threshold=3)
+        with pytest.raises(ProtocolError):
+            aggregation.accept(9, 12345)
+
+
+class TestDropout:
+    @pytest.mark.parametrize("dropped", [[4], [0], [1, 3]])
+    def test_recovery_cancels_dangling_masks(self, dropped):
+        participants = setup()
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        aggregation = ResilientAggregation(5, threshold=3)
+        live = [p for p in participants if p.index not in dropped]
+        for participant in live:
+            aggregation.accept(
+                participant.index, participant.masked_value(values[participant.index])
+            )
+        assert set(aggregation.dropped) == set(dropped)
+        survivors = {p.index: p for p in live}
+        total = aggregation.recover_and_sum(survivors)
+        expected = sum(v for i, v in enumerate(values) if i not in dropped)
+        assert total == pytest.approx(expected)
+
+    def test_without_recovery_sum_is_garbage(self):
+        participants = setup()
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        aggregation = ResilientAggregation(5, threshold=3)
+        for participant in participants[:4]:  # participant 4 drops
+            aggregation.accept(
+                participant.index, participant.masked_value(values[participant.index])
+            )
+        # Decode *without* recovery: masks toward participant 4 dangle.
+        total = aggregation._total
+        from repro.crypto.masking import MODULUS
+
+        if total > MODULUS // 2:
+            total -= MODULUS
+        naive = aggregation.codec.decode_sum(total)
+        assert naive != pytest.approx(10.0, abs=1.0)
+
+    def test_too_few_survivors_fails(self):
+        participants = setup(n=5, threshold=4)
+        aggregation = ResilientAggregation(5, threshold=4)
+        for participant in participants[:3]:  # 2 drop, only 3 survive < 4
+            aggregation.accept(
+                participant.index, participant.masked_value(1.0)
+            )
+        survivors = {p.index: p for p in participants[:3]}
+        with pytest.raises(ProtocolError):
+            aggregation.recover_and_sum(survivors)
+
+    def test_round_separation(self):
+        participants = setup()
+        for round_id in (0, 1):
+            aggregation = ResilientAggregation(5, threshold=3, round_id=round_id)
+            for participant in participants:
+                aggregation.accept(
+                    participant.index,
+                    participant.masked_value(2.0, round_id=round_id),
+                )
+            survivors = {p.index: p for p in participants}
+            assert aggregation.recover_and_sum(survivors) == pytest.approx(10.0)
+
+
+class TestShareAccess:
+    def test_missing_share_rejected(self):
+        participant = ResilientParticipant(index=0, n_participants=3)
+        with pytest.raises(ProtocolError):
+            participant.reveal_share((0, 1))

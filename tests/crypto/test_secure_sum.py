@@ -1,0 +1,113 @@
+"""Unit tests for the aggregator-oblivious sum/mean/histogram protocol."""
+
+import random
+
+import pytest
+
+from repro.crypto.encoding import FixedPointCodec
+from repro.crypto.secure_sum import (
+    DeviceContributor,
+    ObliviousAggregator,
+    QueryCoordinator,
+)
+from repro.errors import ProtocolError
+
+
+@pytest.fixture(scope="module")
+def coordinator():
+    return QueryCoordinator(key_bits=256, rng=random.Random(1))
+
+
+@pytest.fixture()
+def contributor():
+    return DeviceContributor(rng=random.Random(2))
+
+
+class TestScalarQueries:
+    def test_sum_and_mean(self, coordinator, contributor):
+        query = coordinator.open_query("q-sum")
+        aggregator = ObliviousAggregator(query)
+        values = [10.5, -3.25, 7.0, 0.125]
+        for value in values:
+            aggregator.accept(contributor.contribute_value(query, value))
+        total = aggregator.scalar_result()
+        assert coordinator.decrypt_sum(query, total) == pytest.approx(sum(values))
+        assert coordinator.decrypt_mean(query, total, aggregator.count) == pytest.approx(
+            sum(values) / len(values)
+        )
+
+    def test_single_contribution(self, coordinator, contributor):
+        query = coordinator.open_query("q-single")
+        aggregator = ObliviousAggregator(query)
+        aggregator.accept(contributor.contribute_value(query, -55.5))
+        assert coordinator.decrypt_sum(query, aggregator.scalar_result()) == pytest.approx(-55.5)
+
+    def test_duplicate_query_id_rejected(self, coordinator):
+        coordinator.open_query("q-dup")
+        with pytest.raises(ProtocolError):
+            coordinator.open_query("q-dup")
+
+    def test_empty_aggregation_rejected(self, coordinator):
+        query = coordinator.open_query("q-empty")
+        aggregator = ObliviousAggregator(query)
+        with pytest.raises(ProtocolError):
+            aggregator.encrypted_result()
+
+    def test_wrong_query_routing_rejected(self, coordinator, contributor):
+        query_a = coordinator.open_query("q-a")
+        query_b = coordinator.open_query("q-b")
+        aggregator = ObliviousAggregator(query_a)
+        with pytest.raises(ProtocolError):
+            aggregator.accept(contributor.contribute_value(query_b, 1.0))
+
+
+class TestHistogramQueries:
+    def test_histogram_counts(self, coordinator, contributor):
+        query = coordinator.open_query("q-hist", bins=["2g", "3g", "4g"])
+        aggregator = ObliviousAggregator(query)
+        votes = ["4g", "4g", "3g", "2g", "4g", "3g"]
+        for vote in votes:
+            aggregator.accept(contributor.contribute_category(query, vote))
+        histogram = coordinator.decrypt_histogram(query, aggregator.encrypted_result())
+        assert histogram == {"2g": 1, "3g": 2, "4g": 3}
+
+    def test_unknown_bin_rejected(self, coordinator, contributor):
+        query = coordinator.open_query("q-hist2", bins=["a", "b"])
+        with pytest.raises(ProtocolError):
+            contributor.contribute_category(query, "c")
+
+    def test_scalar_api_on_histogram_rejected(self, coordinator, contributor):
+        query = coordinator.open_query("q-hist3", bins=["a", "b"])
+        aggregator = ObliviousAggregator(query)
+        aggregator.accept(contributor.contribute_category(query, "a"))
+        with pytest.raises(ProtocolError):
+            aggregator.scalar_result()
+        with pytest.raises(ProtocolError):
+            coordinator.decrypt_sum(query, aggregator.encrypted_result()[0])
+
+    def test_histogram_api_on_scalar_rejected(self, coordinator, contributor):
+        query = coordinator.open_query("q-scalar2")
+        with pytest.raises(ProtocolError):
+            contributor.contribute_category(query, "a")
+        aggregator = ObliviousAggregator(query)
+        aggregator.accept(contributor.contribute_value(query, 1.0))
+        with pytest.raises(ProtocolError):
+            coordinator.decrypt_histogram(query, aggregator.encrypted_result())
+
+
+class TestObliviousness:
+    def test_aggregator_sees_only_ciphertexts(self, coordinator, contributor):
+        """The aggregator's view (ciphertext values) must not betray equal
+        plaintexts: two contributions of the same value look different."""
+        query = coordinator.open_query("q-blind")
+        first = contributor.contribute_value(query, 42.0)
+        second = contributor.contribute_value(query, 42.0)
+        assert first.ciphertexts[0].value != second.ciphertexts[0].value
+
+    def test_custom_codec_precision(self, coordinator, contributor):
+        query = coordinator.open_query("q-precise", codec=FixedPointCodec(decimals=6))
+        aggregator = ObliviousAggregator(query)
+        aggregator.accept(contributor.contribute_value(query, 0.000125))
+        assert coordinator.decrypt_sum(query, aggregator.scalar_result()) == pytest.approx(
+            0.000125, abs=1e-6
+        )

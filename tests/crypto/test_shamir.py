@@ -1,0 +1,71 @@
+"""Unit and property tests for Shamir secret sharing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.shamir import PRIME, Share, reconstruct_secret, split_secret
+from repro.errors import CryptoError
+
+secrets = st.integers(min_value=0, max_value=PRIME - 1)
+
+
+class TestSplit:
+    def test_share_count(self):
+        shares = split_secret(42, n_shares=5, threshold=3, rng=random.Random(1))
+        assert len(shares) == 5
+        assert len({s.x for s in shares}) == 5
+
+    def test_secret_out_of_field_rejected(self):
+        with pytest.raises(CryptoError):
+            split_secret(PRIME, 3, 2, random.Random(1))
+        with pytest.raises(CryptoError):
+            split_secret(-1, 3, 2, random.Random(1))
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(CryptoError):
+            split_secret(1, 3, 0, random.Random(1))
+        with pytest.raises(CryptoError):
+            split_secret(1, 3, 4, random.Random(1))
+
+
+class TestReconstruct:
+    @given(secrets, st.integers(min_value=2, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_exact_threshold(self, secret, threshold):
+        n = threshold + 2
+        shares = split_secret(secret, n, threshold, random.Random(7))
+        assert reconstruct_secret(shares[:threshold]) == secret
+
+    @given(secrets)
+    @settings(max_examples=30, deadline=None)
+    def test_any_subset_works(self, secret):
+        shares = split_secret(secret, 6, 3, random.Random(3))
+        subset = [shares[5], shares[1], shares[3]]
+        assert reconstruct_secret(subset) == secret
+
+    def test_all_shares_work(self):
+        shares = split_secret(12345, 5, 3, random.Random(2))
+        assert reconstruct_secret(shares) == 12345
+
+    def test_below_threshold_gives_wrong_secret(self):
+        secret = 999_999
+        shares = split_secret(secret, 5, 3, random.Random(4))
+        # Statistically certain to be wrong in a 127-bit field.
+        assert reconstruct_secret(shares[:2]) != secret
+
+    def test_threshold_one_is_replication(self):
+        shares = split_secret(7, 4, 1, random.Random(5))
+        for share in shares:
+            assert reconstruct_secret([share]) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(CryptoError):
+            reconstruct_secret([])
+
+    def test_duplicate_x_rejected(self):
+        share = Share(x=1, y=10)
+        with pytest.raises(CryptoError):
+            reconstruct_secret([share, share])

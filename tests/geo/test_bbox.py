@@ -1,0 +1,83 @@
+"""Unit tests for bounding boxes."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import GeoPoint
+
+
+class TestConstruction:
+    def test_valid(self):
+        box = BoundingBox(south=44.0, west=-1.0, north=45.0, east=0.0)
+        assert box.center == GeoPoint(44.5, -0.5)
+
+    def test_inverted_latitudes_rejected(self):
+        with pytest.raises(GeoError):
+            BoundingBox(south=45.0, west=-1.0, north=44.0, east=0.0)
+
+    def test_inverted_longitudes_rejected(self):
+        with pytest.raises(GeoError):
+            BoundingBox(south=44.0, west=0.0, north=45.0, east=-1.0)
+
+    def test_degenerate_point_box_allowed(self):
+        box = BoundingBox(south=44.0, west=-1.0, north=44.0, east=-1.0)
+        assert box.contains(GeoPoint(44.0, -1.0))
+
+
+class TestAround:
+    def test_single_point(self):
+        point = GeoPoint(44.5, -0.5)
+        box = BoundingBox.around([point])
+        assert box.south == box.north == 44.5
+        assert box.contains(point)
+
+    def test_covers_all_points(self):
+        points = [GeoPoint(44.0, -1.0), GeoPoint(45.0, 0.0), GeoPoint(44.5, -0.5)]
+        box = BoundingBox.around(points)
+        assert all(box.contains(p) for p in points)
+        assert box.south == 44.0 and box.north == 45.0
+        assert box.west == -1.0 and box.east == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(GeoError):
+            BoundingBox.around([])
+
+
+class TestOperations:
+    BOX = BoundingBox(south=44.0, west=-1.0, north=45.0, east=0.0)
+
+    def test_contains_edges_inclusive(self):
+        assert self.BOX.contains(GeoPoint(44.0, -1.0))
+        assert self.BOX.contains(GeoPoint(45.0, 0.0))
+
+    def test_does_not_contain_outside(self):
+        assert not self.BOX.contains(GeoPoint(43.999, -0.5))
+        assert not self.BOX.contains(GeoPoint(44.5, 0.001))
+
+    def test_expanded_grows_every_side(self):
+        grown = self.BOX.expanded(0.1)
+        assert grown.south == pytest.approx(43.9)
+        assert grown.north == pytest.approx(45.1)
+        assert grown.west == pytest.approx(-1.1)
+        assert grown.east == pytest.approx(0.1)
+
+    def test_expanded_clamps_at_world_edges(self):
+        world = BoundingBox(south=-89.99, west=-179.99, north=89.99, east=179.99)
+        grown = world.expanded(1.0)
+        assert grown.south == -90.0 and grown.north == 90.0
+        assert grown.west == -180.0 and grown.east == 180.0
+
+    def test_union(self):
+        other = BoundingBox(south=44.5, west=-0.5, north=46.0, east=1.0)
+        union = self.BOX.union(other)
+        assert union.south == 44.0 and union.north == 46.0
+        assert union.west == -1.0 and union.east == 1.0
+
+    def test_union_commutative(self):
+        other = BoundingBox(south=43.0, west=-2.0, north=44.5, east=-0.5)
+        assert self.BOX.union(other) == other.union(self.BOX)
+
+    def test_corners(self):
+        assert self.BOX.south_west == GeoPoint(44.0, -1.0)
+        assert self.BOX.north_east == GeoPoint(45.0, 0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for great-circle distances and interpolation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.distance import centroid, haversine_m, interpolate, path_length_m
+from repro.geo.point import GeoPoint
+
+city_lats = st.floats(min_value=44.0, max_value=45.0, allow_nan=False)
+city_lons = st.floats(min_value=-1.0, max_value=0.0, allow_nan=False)
+city_points = st.builds(GeoPoint, city_lats, city_lons)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        point = GeoPoint(44.8378, -0.5792)
+        assert haversine_m(point, point) == 0.0
+
+    def test_known_distance_one_degree_latitude(self):
+        # One degree of latitude is ~111.2 km everywhere.
+        a = GeoPoint(44.0, -0.5)
+        b = GeoPoint(45.0, -0.5)
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=0.01)
+
+    def test_longitude_shrinks_with_latitude(self):
+        at_equator = haversine_m(GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0))
+        at_60 = haversine_m(GeoPoint(60.0, 0.0), GeoPoint(60.0, 1.0))
+        assert at_60 == pytest.approx(at_equator / 2.0, rel=0.01)
+
+    @given(city_points, city_points)
+    def test_symmetry(self, a, b):
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a), rel=1e-12)
+
+    @given(city_points, city_points, city_points)
+    def test_triangle_inequality(self, a, b, c):
+        direct = haversine_m(a, c)
+        detour = haversine_m(a, b) + haversine_m(b, c)
+        assert direct <= detour + 1e-6
+
+    @given(city_points, city_points)
+    def test_non_negative(self, a, b):
+        assert haversine_m(a, b) >= 0.0
+
+
+class TestPathLength:
+    def test_empty_and_single(self):
+        assert path_length_m([]) == 0.0
+        assert path_length_m([GeoPoint(44.0, 0.0)]) == 0.0
+
+    def test_sums_segments(self):
+        a, b, c = GeoPoint(44.0, 0.0), GeoPoint(44.01, 0.0), GeoPoint(44.02, 0.0)
+        total = path_length_m([a, b, c])
+        assert total == pytest.approx(haversine_m(a, b) + haversine_m(b, c))
+
+    def test_accepts_generator(self):
+        points = (GeoPoint(44.0 + 0.001 * i, 0.0) for i in range(3))
+        assert path_length_m(points) > 0.0
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        a, b = GeoPoint(44.0, -0.5), GeoPoint(45.0, -0.6)
+        assert interpolate(a, b, 0.0) == a
+        assert interpolate(a, b, 1.0) == b
+
+    def test_midpoint(self):
+        a, b = GeoPoint(44.0, -0.6), GeoPoint(44.2, -0.4)
+        mid = interpolate(a, b, 0.5)
+        assert mid.lat == pytest.approx(44.1)
+        assert mid.lon == pytest.approx(-0.5)
+
+    @given(city_points, city_points, st.floats(min_value=0.0, max_value=1.0))
+    def test_interpolated_point_between(self, a, b, fraction):
+        mid = interpolate(a, b, fraction)
+        assert min(a.lat, b.lat) - 1e-9 <= mid.lat <= max(a.lat, b.lat) + 1e-9
+        assert min(a.lon, b.lon) - 1e-9 <= mid.lon <= max(a.lon, b.lon) + 1e-9
+
+
+class TestCentroid:
+    def test_single_point(self):
+        point = GeoPoint(44.0, -0.5)
+        assert centroid([point]) == point
+
+    def test_mean_of_square(self):
+        points = [
+            GeoPoint(44.0, -0.5),
+            GeoPoint(44.2, -0.5),
+            GeoPoint(44.0, -0.3),
+            GeoPoint(44.2, -0.3),
+        ]
+        center = centroid(points)
+        assert center.lat == pytest.approx(44.1)
+        assert center.lon == pytest.approx(-0.4)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])

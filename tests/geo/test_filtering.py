@@ -1,0 +1,89 @@
+"""Unit tests for trajectory denoising filters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.geo.distance import haversine_m
+from repro.geo.filtering import rolling_mean, rolling_median
+from repro.geo.point import GeoPoint, Record
+from repro.geo.trajectory import Trajectory
+
+
+def _noisy_stop(n: int = 101, sigma_deg: float = 0.0002, seed: int = 3) -> Trajectory:
+    """A stationary user with Gaussian fix noise."""
+    rng = np.random.default_rng(seed)
+    records = [
+        Record(
+            point=GeoPoint(
+                44.8 + float(rng.normal(0, sigma_deg)),
+                -0.58 + float(rng.normal(0, sigma_deg)),
+            ),
+            time=60.0 * i,
+        )
+        for i in range(n)
+    ]
+    return Trajectory.from_records("u", records)
+
+
+ANCHOR = GeoPoint(44.8, -0.58)
+
+
+@pytest.mark.parametrize("filter_fn", [rolling_median, rolling_mean])
+class TestCommonBehaviour:
+    def test_window_one_is_identity(self, filter_fn):
+        trajectory = _noisy_stop(20)
+        assert filter_fn(trajectory, 1).records == trajectory.records
+
+    def test_even_window_rejected(self, filter_fn):
+        with pytest.raises(TrajectoryError):
+            filter_fn(_noisy_stop(20), 4)
+
+    def test_zero_window_rejected(self, filter_fn):
+        with pytest.raises(TrajectoryError):
+            filter_fn(_noisy_stop(20), 0)
+
+    def test_preserves_times_and_length(self, filter_fn):
+        trajectory = _noisy_stop(50)
+        filtered = filter_fn(trajectory, 9)
+        assert len(filtered) == len(trajectory)
+        assert [r.time for r in filtered] == [r.time for r in trajectory]
+
+    def test_short_trajectory_passthrough(self, filter_fn):
+        trajectory = _noisy_stop(2)
+        assert filter_fn(trajectory, 9).records == trajectory.records
+
+
+class TestDenoisingPower:
+    def test_median_shrinks_noise_at_stop(self):
+        trajectory = _noisy_stop(101)
+        filtered = rolling_median(trajectory, 15)
+        raw_error = np.mean([haversine_m(r.point, ANCHOR) for r in trajectory])
+        filtered_error = np.mean([haversine_m(r.point, ANCHOR) for r in filtered])
+        assert filtered_error < raw_error / 2
+
+    def test_median_robust_to_heavy_tailed_noise(self):
+        # Laplace-like outliers: the median barely moves, the mean does.
+        rng = np.random.default_rng(11)
+        records = []
+        for i in range(101):
+            offset = 0.00005
+            if i % 10 == 0:  # occasional huge outlier
+                offset = 0.01
+            records.append(
+                Record(
+                    point=GeoPoint(
+                        44.8 + float(rng.normal(0, offset)),
+                        -0.58 + float(rng.normal(0, offset)),
+                    ),
+                    time=60.0 * i,
+                )
+            )
+        trajectory = Trajectory.from_records("u", records)
+        median_error = np.mean(
+            [haversine_m(r.point, ANCHOR) for r in rolling_median(trajectory, 9)]
+        )
+        mean_error = np.mean(
+            [haversine_m(r.point, ANCHOR) for r in rolling_mean(trajectory, 9)]
+        )
+        assert median_error < mean_error

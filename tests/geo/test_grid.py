@@ -1,0 +1,95 @@
+"""Unit tests for the spatial grid."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeoError
+from repro.geo.bbox import BoundingBox
+from repro.geo.distance import haversine_m
+from repro.geo.grid import SpatialGrid
+from repro.geo.point import GeoPoint
+
+BOX = BoundingBox(south=44.80, west=-0.65, north=44.88, east=-0.50)
+
+
+@pytest.fixture()
+def grid() -> SpatialGrid:
+    return SpatialGrid(bbox=BOX, cell_size_m=500.0)
+
+
+class TestConstruction:
+    def test_dimensions_cover_box(self, grid):
+        # The box is ~8.9 km tall and ~11.8 km wide at this latitude.
+        assert grid.rows >= 17
+        assert grid.cols >= 23
+        assert grid.n_cells == grid.rows * grid.cols
+
+    def test_zero_cell_size_rejected(self):
+        with pytest.raises(GeoError):
+            SpatialGrid(bbox=BOX, cell_size_m=0.0)
+
+    def test_tiny_box_has_one_cell(self):
+        tiny = BoundingBox(south=44.80, west=-0.65, north=44.8001, east=-0.6499)
+        grid = SpatialGrid(bbox=tiny, cell_size_m=500.0)
+        assert grid.rows == 1 and grid.cols == 1
+
+
+class TestCellMapping:
+    def test_south_west_corner_is_origin_cell(self, grid):
+        assert grid.cell_of(BOX.south_west) == (0, 0)
+
+    def test_outside_points_clamp(self, grid):
+        far_south = GeoPoint(44.0, -0.6)
+        row, col = grid.cell_of(far_south)
+        assert row == 0
+        far_east = GeoPoint(44.84, 0.5)
+        row, col = grid.cell_of(far_east)
+        assert col == grid.cols - 1
+
+    def test_center_of_out_of_range_raises(self, grid):
+        with pytest.raises(GeoError):
+            grid.center_of((grid.rows, 0))
+        with pytest.raises(GeoError):
+            grid.center_of((0, -1))
+
+    @given(
+        st.floats(min_value=44.80, max_value=44.88),
+        st.floats(min_value=-0.65, max_value=-0.50),
+    )
+    def test_snap_moves_at_most_half_diagonal(self, lat, lon):
+        grid = SpatialGrid(bbox=BOX, cell_size_m=500.0)
+        point = GeoPoint(lat, lon)
+        snapped = grid.snap(point)
+        # Half the diagonal of a 500 m cell is ~354 m.
+        assert haversine_m(point, snapped) <= 360.0
+
+    @given(
+        st.floats(min_value=44.80, max_value=44.88),
+        st.floats(min_value=-0.65, max_value=-0.50),
+    )
+    def test_snap_is_idempotent(self, lat, lon):
+        grid = SpatialGrid(bbox=BOX, cell_size_m=500.0)
+        once = grid.snap(GeoPoint(lat, lon))
+        twice = grid.snap(once)
+        assert haversine_m(once, twice) < 1e-6
+
+    def test_center_roundtrip(self, grid):
+        for cell in [(0, 0), (3, 5), (grid.rows - 1, grid.cols - 1)]:
+            assert grid.cell_of(grid.center_of(cell)) == cell
+
+
+class TestNeighbours:
+    def test_interior_cell_has_four(self, grid):
+        assert len(grid.neighbours((2, 2))) == 4
+
+    def test_corner_has_two(self, grid):
+        assert len(grid.neighbours((0, 0))) == 2
+
+    def test_edge_has_three(self, grid):
+        assert len(grid.neighbours((0, 2))) == 3
+
+    def test_all_cells_enumeration(self, grid):
+        cells = grid.all_cells()
+        assert len(cells) == grid.n_cells
+        assert len(set(cells)) == grid.n_cells

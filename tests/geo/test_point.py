@@ -1,0 +1,82 @@
+"""Unit tests for GeoPoint and Record."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeoError
+from repro.geo.point import GeoPoint, Record
+
+valid_lats = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+valid_lons = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        point = GeoPoint(44.8378, -0.5792)
+        assert point.lat == 44.8378
+        assert point.lon == -0.5792
+
+    @pytest.mark.parametrize("lat", [-90.001, 90.001, 180.0, -1000.0])
+    def test_latitude_out_of_range(self, lat):
+        with pytest.raises(GeoError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-180.001, 180.001, 360.0])
+    def test_longitude_out_of_range(self, lon):
+        with pytest.raises(GeoError):
+            GeoPoint(0.0, lon)
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeoError):
+            GeoPoint(math.nan, 0.0)
+
+    def test_poles_and_antimeridian_accepted(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_hashable_and_equal(self):
+        assert GeoPoint(1.0, 2.0) == GeoPoint(1.0, 2.0)
+        assert len({GeoPoint(1.0, 2.0), GeoPoint(1.0, 2.0)}) == 1
+
+    def test_immutable(self):
+        point = GeoPoint(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            point.lat = 3.0
+
+    @given(valid_lats, valid_lons)
+    def test_any_valid_pair_constructs(self, lat, lon):
+        point = GeoPoint(lat, lon)
+        assert point.lat == lat
+        assert point.lon == lon
+
+    def test_str_format(self):
+        assert str(GeoPoint(44.8378, -0.5792)) == "(44.837800, -0.579200)"
+
+
+class TestRecord:
+    def test_accessors(self):
+        record = Record(point=GeoPoint(1.0, 2.0), time=42.0)
+        assert record.lat == 1.0
+        assert record.lon == 2.0
+        assert record.time == 42.0
+
+    def test_moved_keeps_time(self):
+        record = Record(point=GeoPoint(1.0, 2.0), time=42.0)
+        moved = record.moved(GeoPoint(3.0, 4.0))
+        assert moved.time == 42.0
+        assert moved.point == GeoPoint(3.0, 4.0)
+        assert record.point == GeoPoint(1.0, 2.0)  # original untouched
+
+    def test_shifted_keeps_point(self):
+        record = Record(point=GeoPoint(1.0, 2.0), time=42.0)
+        shifted = record.shifted(-10.0)
+        assert shifted.time == 32.0
+        assert shifted.point == record.point
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_shift_roundtrip(self, delta):
+        record = Record(point=GeoPoint(0.0, 0.0), time=1000.0)
+        assert record.shifted(delta).shifted(-delta).time == pytest.approx(1000.0)

@@ -1,0 +1,67 @@
+"""Unit tests for the local ENU projection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.distance import haversine_m
+from repro.geo.point import GeoPoint
+from repro.geo.projection import LocalProjection
+
+ORIGIN = GeoPoint(44.8378, -0.5792)
+
+nearby_lats = st.floats(min_value=44.7, max_value=45.0, allow_nan=False)
+nearby_lons = st.floats(min_value=-0.8, max_value=-0.4, allow_nan=False)
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self):
+        projection = LocalProjection(ORIGIN)
+        assert projection.to_xy(ORIGIN) == (0.0, 0.0)
+
+    def test_north_is_positive_y(self):
+        projection = LocalProjection(ORIGIN)
+        _, y = projection.to_xy(GeoPoint(ORIGIN.lat + 0.01, ORIGIN.lon))
+        assert y > 0
+
+    def test_east_is_positive_x(self):
+        projection = LocalProjection(ORIGIN)
+        x, _ = projection.to_xy(GeoPoint(ORIGIN.lat, ORIGIN.lon + 0.01))
+        assert x > 0
+
+    @given(nearby_lats, nearby_lons)
+    def test_roundtrip(self, lat, lon):
+        projection = LocalProjection(ORIGIN)
+        point = GeoPoint(lat, lon)
+        x, y = projection.to_xy(point)
+        back = projection.to_point(x, y)
+        assert back.lat == pytest.approx(lat, abs=1e-9)
+        assert back.lon == pytest.approx(lon, abs=1e-9)
+
+    def test_projection_matches_haversine_at_city_scale(self):
+        projection = LocalProjection(ORIGIN)
+        target = GeoPoint(ORIGIN.lat + 0.02, ORIGIN.lon + 0.03)
+        x, y = projection.to_xy(target)
+        planar = (x**2 + y**2) ** 0.5
+        true_distance = haversine_m(ORIGIN, target)
+        assert planar == pytest.approx(true_distance, rel=0.002)
+
+    @given(
+        nearby_lats,
+        nearby_lons,
+        st.floats(min_value=-2000, max_value=2000),
+        st.floats(min_value=-2000, max_value=2000),
+    )
+    def test_translate_moves_by_requested_metres(self, lat, lon, dx, dy):
+        projection = LocalProjection(ORIGIN)
+        start = GeoPoint(lat, lon)
+        moved = projection.translate(start, dx, dy)
+        expected = (dx**2 + dy**2) ** 0.5
+        assert haversine_m(start, moved) == pytest.approx(expected, rel=0.01, abs=0.5)
+
+    def test_translate_zero_is_identity(self):
+        projection = LocalProjection(ORIGIN)
+        point = GeoPoint(44.9, -0.6)
+        moved = projection.translate(point, 0.0, 0.0)
+        assert moved.lat == pytest.approx(point.lat, abs=1e-12)
+        assert moved.lon == pytest.approx(point.lon, abs=1e-12)

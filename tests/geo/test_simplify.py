@@ -1,0 +1,87 @@
+"""Unit tests for Douglas-Peucker simplification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.geo.distance import haversine_m
+from repro.geo.point import GeoPoint, Record
+from repro.geo.simplify import compression_ratio, douglas_peucker
+from repro.geo.trajectory import Trajectory
+from tests.conftest import make_trajectory
+
+
+class TestValidation:
+    def test_bad_tolerance(self, straight_line_trajectory):
+        with pytest.raises(TrajectoryError):
+            douglas_peucker(straight_line_trajectory, 0.0)
+
+    def test_short_trajectory_passthrough(self):
+        two = make_trajectory(points=[(44.8, -0.58), (44.81, -0.58)], times=[0.0, 60.0])
+        assert douglas_peucker(two, 50.0).records == two.records
+
+
+class TestSimplification:
+    def test_straight_line_collapses_to_endpoints(self, straight_line_trajectory):
+        simplified = douglas_peucker(straight_line_trajectory, tolerance_m=5.0)
+        assert len(simplified) == 2
+        assert simplified.records[0] == straight_line_trajectory.records[0]
+        assert simplified.records[-1] == straight_line_trajectory.records[-1]
+
+    def test_corner_is_kept(self):
+        # An L-shaped path: the corner must survive any sane tolerance.
+        points = [(44.80, -0.58), (44.81, -0.58), (44.82, -0.58),
+                  (44.82, -0.57), (44.82, -0.56)]
+        trajectory = make_trajectory(points=points, times=[60.0 * i for i in range(5)])
+        simplified = douglas_peucker(trajectory, tolerance_m=50.0)
+        corner = GeoPoint(44.82, -0.58)
+        assert any(haversine_m(r.point, corner) < 1.0 for r in simplified)
+
+    def test_error_bound_respected(self, medium_population):
+        """Douglas-Peucker's guarantee is *spatial*: every original point
+        lies within the tolerance of the simplified polyline.  (Time
+        alignment is intentionally not preserved — dwell records are
+        removed wholesale.)"""
+        from repro.geo.projection import LocalProjection
+        from repro.geo.simplify import _perpendicular_distance
+
+        tolerance = 50.0
+        trajectory = medium_population.dataset.get(medium_population.dataset.users[0])
+        day = trajectory.split_by_day()[0]
+        simplified = douglas_peucker(day, tolerance)
+
+        projection = LocalProjection(day.bounding_box.center)
+        polyline = [projection.to_xy(p) for p in simplified.points]
+        for record in day:
+            point = projection.to_xy(record.point)
+            nearest = min(
+                _perpendicular_distance(point, a, b)
+                for a, b in zip(polyline, polyline[1:])
+            )
+            assert nearest <= tolerance + 1.0
+
+    def test_noise_compresses_heavily(self):
+        rng = np.random.default_rng(4)
+        records = [
+            Record(
+                point=GeoPoint(44.8 + float(rng.normal(0, 5e-5)),
+                               -0.58 + float(rng.normal(0, 5e-5))),
+                time=60.0 * i,
+            )
+            for i in range(200)
+        ]
+        trajectory = Trajectory.from_records("u", records)
+        simplified = douglas_peucker(trajectory, tolerance_m=30.0)
+        assert compression_ratio(trajectory, simplified) > 0.9
+
+    def test_tighter_tolerance_keeps_more(self, medium_population):
+        trajectory = medium_population.dataset.get(medium_population.dataset.users[0])
+        day = trajectory.split_by_day()[0]
+        fine = douglas_peucker(day, 10.0)
+        coarse = douglas_peucker(day, 200.0)
+        assert len(fine) >= len(coarse)
+
+    def test_timestamps_preserved(self, straight_line_trajectory):
+        simplified = douglas_peucker(straight_line_trajectory, 5.0)
+        original_times = {r.time for r in straight_line_trajectory}
+        assert all(r.time in original_times for r in simplified)

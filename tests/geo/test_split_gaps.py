@@ -1,0 +1,52 @@
+"""Unit tests for trajectory gap segmentation."""
+
+import pytest
+
+from repro.errors import TrajectoryError
+from tests.conftest import make_trajectory
+
+
+class TestSplitGaps:
+    def test_no_gaps_single_segment(self):
+        trajectory = make_trajectory(times=[0.0, 60.0, 120.0])
+        segments = trajectory.split_gaps(max_gap=120.0)
+        assert len(segments) == 1
+        assert segments[0].records == trajectory.records
+
+    def test_split_at_gap(self):
+        trajectory = make_trajectory(
+            points=[(44.80, -0.58)] * 5,
+            times=[0.0, 60.0, 120.0, 4000.0, 4060.0],
+        )
+        segments = trajectory.split_gaps(max_gap=600.0)
+        assert len(segments) == 2
+        assert [len(s) for s in segments] == [3, 2]
+        assert segments[1].start_time == 4000.0
+
+    def test_multiple_gaps(self):
+        times = [0.0, 60.0, 5000.0, 5060.0, 10000.0]
+        trajectory = make_trajectory(points=[(44.80, -0.58)] * 5, times=times)
+        segments = trajectory.split_gaps(max_gap=600.0)
+        assert len(segments) == 3
+        assert sum(len(s) for s in segments) == 5
+
+    def test_every_record_preserved_in_order(self):
+        times = [0.0, 100.0, 10_000.0, 10_100.0]
+        trajectory = make_trajectory(points=[(44.80, -0.58)] * 4, times=times)
+        segments = trajectory.split_gaps(max_gap=500.0)
+        flattened = [r for s in segments for r in s.records]
+        assert tuple(flattened) == trajectory.records
+
+    def test_user_propagated(self):
+        trajectory = make_trajectory(user="gap-user")
+        assert all(s.user == "gap-user" for s in trajectory.split_gaps(1e6))
+
+    def test_invalid_gap_rejected(self):
+        with pytest.raises(TrajectoryError):
+            make_trajectory().split_gaps(0.0)
+
+    def test_single_record(self):
+        trajectory = make_trajectory(points=[(44.8, -0.58)], times=[5.0])
+        segments = trajectory.split_gaps(max_gap=10.0)
+        assert len(segments) == 1
+        assert len(segments[0]) == 1

@@ -1,0 +1,198 @@
+"""Unit and property tests for trajectories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrajectoryError
+from repro.geo.distance import haversine_m
+from repro.geo.point import GeoPoint, Record
+from repro.geo.trajectory import Trajectory
+from repro.units import DAY
+from tests.conftest import make_trajectory
+
+
+def _records(n: int, dt: float = 60.0, dlat: float = 0.001) -> list[Record]:
+    return [
+        Record(point=GeoPoint(44.8 + dlat * i, -0.58), time=dt * i) for i in range(n)
+    ]
+
+
+class TestInvariants:
+    def test_empty_rejected(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(user="u", records=())
+
+    def test_non_increasing_time_rejected(self):
+        records = (_records(1)[0], Record(point=GeoPoint(44.9, -0.58), time=0.0))
+        with pytest.raises(TrajectoryError):
+            Trajectory(user="u", records=records)
+
+    def test_equal_times_rejected(self):
+        a = Record(point=GeoPoint(44.8, -0.58), time=5.0)
+        b = Record(point=GeoPoint(44.9, -0.58), time=5.0)
+        with pytest.raises(TrajectoryError):
+            Trajectory(user="u", records=(a, b))
+
+    def test_from_records_sorts_and_dedupes(self):
+        shuffled = [_records(5)[i] for i in (3, 1, 4, 0, 2)]
+        shuffled.append(Record(point=GeoPoint(44.99, -0.58), time=60.0))  # duplicate t
+        trajectory = Trajectory.from_records("u", shuffled)
+        assert len(trajectory) == 5
+        times = [r.time for r in trajectory]
+        assert times == sorted(times)
+
+
+class TestBasicProperties:
+    def test_duration_and_times(self):
+        trajectory = Trajectory(user="u", records=tuple(_records(5)))
+        assert trajectory.start_time == 0.0
+        assert trajectory.end_time == 240.0
+        assert trajectory.duration == 240.0
+
+    def test_length_sums_segments(self):
+        trajectory = Trajectory(user="u", records=tuple(_records(3)))
+        expected = sum(
+            haversine_m(a.point, b.point)
+            for a, b in zip(trajectory.records, trajectory.records[1:])
+        )
+        assert trajectory.length_m == pytest.approx(expected)
+
+    def test_speeds_length(self):
+        trajectory = Trajectory(user="u", records=tuple(_records(5)))
+        assert len(trajectory.speeds()) == 4
+        assert all(s > 0 for s in trajectory.speeds())
+
+    def test_mean_speed(self):
+        trajectory = Trajectory(user="u", records=tuple(_records(5)))
+        assert trajectory.mean_speed() == pytest.approx(
+            trajectory.length_m / trajectory.duration
+        )
+
+    def test_single_record_trajectory(self):
+        trajectory = Trajectory(user="u", records=tuple(_records(1)))
+        assert trajectory.duration == 0.0
+        assert trajectory.length_m == 0.0
+        assert trajectory.mean_speed() == 0.0
+
+
+class TestTransforms:
+    def test_map_points_keeps_times(self):
+        trajectory = Trajectory(user="u", records=tuple(_records(4)))
+        shifted = trajectory.map_points(
+            lambda r: GeoPoint(r.lat + 0.01, r.lon)
+        )
+        assert [r.time for r in shifted] == [r.time for r in trajectory]
+        assert all(s.lat == pytest.approx(o.lat + 0.01) for s, o in zip(shifted, trajectory))
+
+    def test_renamed(self):
+        trajectory = make_trajectory(user="alice")
+        assert trajectory.renamed("pseudo-1").user == "pseudo-1"
+        assert trajectory.renamed("pseudo-1").records == trajectory.records
+
+    def test_slice_time_half_open(self):
+        trajectory = Trajectory(user="u", records=tuple(_records(5)))
+        piece = trajectory.slice_time(60.0, 180.0)
+        assert piece is not None
+        assert [r.time for r in piece] == [60.0, 120.0]
+
+    def test_slice_time_empty_returns_none(self):
+        trajectory = Trajectory(user="u", records=tuple(_records(5)))
+        assert trajectory.slice_time(1000.0, 2000.0) is None
+
+
+class TestSplitByDay:
+    def test_splits_cover_all_records(self):
+        records = _records(10, dt=DAY / 4)  # 2.5 days worth
+        trajectory = Trajectory(user="u", records=tuple(records))
+        days = trajectory.split_by_day()
+        assert sum(len(d) for d in days) == len(trajectory)
+        assert len(days) == 3
+
+    def test_each_day_within_bounds(self):
+        records = _records(12, dt=DAY / 4)
+        trajectory = Trajectory(user="u", records=tuple(records))
+        for index, day in enumerate(trajectory.split_by_day()):
+            day_start = int(day.start_time // DAY)
+            assert all(day_start * DAY <= r.time < (day_start + 1) * DAY for r in day)
+
+    def test_invalid_day_length(self):
+        trajectory = Trajectory(user="u", records=tuple(_records(3)))
+        with pytest.raises(TrajectoryError):
+            trajectory.split_by_day(day_length=0.0)
+
+
+class TestResampling:
+    def test_uniform_distance_spacing(self, straight_line_trajectory):
+        step = 150.0
+        resampled = straight_line_trajectory.resample_uniform_distance(step)
+        assert len(resampled) >= 3
+        for a, b in zip(resampled[:-2], resampled[1:-1]):
+            assert haversine_m(a, b) == pytest.approx(step, rel=0.01)
+
+    def test_uniform_distance_includes_endpoints(self, straight_line_trajectory):
+        resampled = straight_line_trajectory.resample_uniform_distance(150.0)
+        assert resampled[0] == straight_line_trajectory.points[0]
+        assert resampled[-1] == straight_line_trajectory.points[-1]
+
+    def test_chord_spacing_exact(self, straight_line_trajectory):
+        step = 150.0
+        resampled = straight_line_trajectory.resample_chord(step)
+        assert len(resampled) >= 3
+        for a, b in zip(resampled, resampled[1:]):
+            assert haversine_m(a, b) == pytest.approx(step, rel=0.01)
+
+    def test_chord_ignores_jitter_at_stop(self):
+        # A user dwelling at one place with 15 m of GPS jitter: curvilinear
+        # resampling leaks dozens of points, chord resampling emits none.
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        records = [
+            Record(
+                point=GeoPoint(44.8 + float(rng.normal(0, 0.00015)),
+                               -0.58 + float(rng.normal(0, 0.0002))),
+                time=60.0 * i,
+            )
+            for i in range(200)
+        ]
+        trajectory = Trajectory.from_records("u", records)
+        assert trajectory.length_m > 2000  # jitter accumulates real path length
+        chord = trajectory.resample_chord(100.0)
+        curvilinear = trajectory.resample_uniform_distance(100.0)
+        assert len(chord) <= 3
+        assert len(curvilinear) > 10
+
+    def test_invalid_steps(self, straight_line_trajectory):
+        with pytest.raises(TrajectoryError):
+            straight_line_trajectory.resample_uniform_distance(0.0)
+        with pytest.raises(TrajectoryError):
+            straight_line_trajectory.resample_chord(-5.0)
+
+    @given(st.floats(min_value=50.0, max_value=500.0))
+    @settings(max_examples=20, deadline=None)
+    def test_chord_consecutive_distance_never_exceeds_step_much(self, step):
+        points = [(44.80 + 0.002 * i, -0.58 + 0.001 * (i % 3)) for i in range(8)]
+        trajectory = make_trajectory(points=points, times=[60.0 * i for i in range(8)])
+        resampled = trajectory.resample_chord(step)
+        for a, b in zip(resampled, resampled[1:]):
+            assert haversine_m(a, b) <= step * 1.05
+
+
+class TestPointAtTime:
+    def test_clamps_outside_span(self, straight_line_trajectory):
+        trajectory = straight_line_trajectory
+        assert trajectory.point_at_time(-100.0) == trajectory.points[0]
+        assert trajectory.point_at_time(1e9) == trajectory.points[-1]
+
+    def test_exact_record_times(self, straight_line_trajectory):
+        for record in straight_line_trajectory:
+            interpolated = straight_line_trajectory.point_at_time(record.time)
+            assert haversine_m(interpolated, record.point) < 0.5
+
+    def test_midpoint_interpolation(self):
+        trajectory = make_trajectory(
+            points=[(44.80, -0.58), (44.82, -0.58)], times=[0.0, 100.0]
+        )
+        mid = trajectory.point_at_time(50.0)
+        assert mid.lat == pytest.approx(44.81)

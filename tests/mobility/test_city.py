@@ -1,0 +1,65 @@
+"""Unit tests for the synthetic city model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.distance import haversine_m
+from repro.mobility.city import City, CityConfig
+
+
+class TestCityConfig:
+    def test_defaults_valid(self):
+        config = CityConfig()
+        assert config.half_extent_m == 5000.0
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(GeoError):
+            CityConfig(half_extent_m=-1.0)
+
+    def test_zero_places_rejected(self):
+        with pytest.raises(GeoError):
+            CityConfig(n_leisure=0)
+
+
+class TestCityGeneration:
+    def test_counts_match_config(self, test_city):
+        config = test_city.config
+        assert len(test_city.residential) == config.n_residential
+        assert len(test_city.workplaces) == config.n_workplaces
+        assert len(test_city.leisure) == config.n_leisure
+
+    def test_deterministic_per_seed(self):
+        config = CityConfig()
+        a = City.generate(config, np.random.default_rng(5))
+        b = City.generate(config, np.random.default_rng(5))
+        assert a.residential == b.residential
+        assert a.workplaces == b.workplaces
+
+    def test_different_seeds_differ(self):
+        config = CityConfig()
+        a = City.generate(config, np.random.default_rng(5))
+        b = City.generate(config, np.random.default_rng(6))
+        assert a.residential != b.residential
+
+    def test_all_places_within_extent(self, test_city):
+        center = test_city.config.center
+        # Half-extent on each axis -> max distance is the half diagonal.
+        limit = test_city.config.half_extent_m * 2**0.5 * 1.01
+        for place in (
+            list(test_city.residential)
+            + list(test_city.workplaces)
+            + list(test_city.leisure)
+        ):
+            assert haversine_m(center, place) <= limit
+
+    def test_workplaces_cluster_downtown(self, test_city):
+        center = test_city.config.center
+        mean_work = np.mean([haversine_m(center, p) for p in test_city.workplaces])
+        mean_home = np.mean([haversine_m(center, p) for p in test_city.residential])
+        assert mean_work < mean_home
+
+    def test_bounding_box_contains_everything(self, test_city):
+        box = test_city.bounding_box
+        for place in test_city.residential + test_city.workplaces + test_city.leisure:
+            assert box.contains(place)

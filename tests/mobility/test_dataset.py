@@ -1,0 +1,111 @@
+"""Unit tests for MobilityDataset."""
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.geo.point import GeoPoint, Record
+from repro.geo.trajectory import Trajectory
+from repro.mobility.dataset import MobilityDataset
+from repro.units import DAY
+from tests.conftest import make_trajectory
+
+
+def two_user_dataset() -> MobilityDataset:
+    a = make_trajectory(user="alice")
+    b = make_trajectory(
+        user="bob", points=[(44.70, -0.50), (44.71, -0.51)], times=[0.0, 60.0]
+    )
+    return MobilityDataset([a, b])
+
+
+class TestConstruction:
+    def test_duplicate_user_rejected(self):
+        a = make_trajectory(user="alice")
+        with pytest.raises(TrajectoryError):
+            MobilityDataset([a, a])
+
+    def test_empty_dataset_allowed(self):
+        dataset = MobilityDataset([])
+        assert len(dataset) == 0
+        with pytest.raises(TrajectoryError):
+            _ = dataset.bounding_box
+
+
+class TestAccessors:
+    def test_users_and_get(self):
+        dataset = two_user_dataset()
+        assert set(dataset.users) == {"alice", "bob"}
+        assert dataset.get("alice").user == "alice"
+        assert "alice" in dataset
+
+    def test_unknown_user_raises(self):
+        with pytest.raises(TrajectoryError):
+            two_user_dataset().get("carol")
+
+    def test_n_records(self):
+        dataset = two_user_dataset()
+        assert dataset.n_records == 5
+
+    def test_all_records_streams_everything(self):
+        dataset = two_user_dataset()
+        records = list(dataset.all_records())
+        assert len(records) == 5
+        assert {user for user, _ in records} == {"alice", "bob"}
+
+    def test_bounding_box_covers_all(self):
+        box = two_user_dataset().bounding_box
+        for _, record in two_user_dataset().all_records():
+            assert box.contains(record.point)
+
+
+class TestTransforms:
+    def test_map_trajectories_drop(self):
+        dataset = two_user_dataset()
+        kept = dataset.map_trajectories(
+            lambda t: t if t.user == "alice" else None
+        )
+        assert kept.users == ["alice"]
+
+    def test_slice_time(self):
+        dataset = two_user_dataset()
+        sliced = dataset.slice_time(0.0, 61.0)
+        assert sliced.get("bob").end_time == 60.0
+        assert len(sliced.get("alice")) == 2
+
+    def test_split_by_day_counts(self, small_population):
+        days = list(small_population.dataset.split_by_day(DAY))
+        assert len(days) == 5 * 3  # users x days
+
+    def test_pseudonymized_mapping_roundtrip(self):
+        dataset = two_user_dataset()
+        pseudo, mapping = dataset.pseudonymized()
+        assert len(pseudo) == 2
+        assert set(mapping.values()) == {"alice", "bob"}
+        for pseudonym, user in mapping.items():
+            assert pseudo.get(pseudonym).records == dataset.get(user).records
+
+    def test_pseudonyms_hide_names(self):
+        pseudo, _ = two_user_dataset().pseudonymized(prefix="anon")
+        assert all(user.startswith("anon-") for user in pseudo.users)
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, tmp_path):
+        dataset = two_user_dataset()
+        path = tmp_path / "data.csv"
+        dataset.to_csv(path)
+        loaded = MobilityDataset.from_csv(path)
+        assert set(loaded.users) == set(dataset.users)
+        for user in dataset.users:
+            original = dataset.get(user)
+            restored = loaded.get(user)
+            assert len(restored) == len(original)
+            for a, b in zip(original, restored):
+                assert a.time == pytest.approx(b.time, abs=1e-3)
+                assert a.lat == pytest.approx(b.lat, abs=1e-6)
+
+    def test_csv_roundtrip_population(self, tmp_path, small_population):
+        path = tmp_path / "population.csv"
+        small_population.dataset.to_csv(path)
+        loaded = MobilityDataset.from_csv(path)
+        assert loaded.n_records == small_population.dataset.n_records

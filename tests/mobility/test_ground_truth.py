@@ -1,0 +1,70 @@
+"""Dedicated edge-case tests for ground-truth records."""
+
+import pytest
+
+from repro.geo.point import GeoPoint
+from repro.mobility.ground_truth import GroundTruth, PoiVisit, UserTruth
+
+HOME = GeoPoint(44.80, -0.60)
+WORK = GeoPoint(44.84, -0.56)
+CAFE = GeoPoint(44.82, -0.58)
+
+
+def visit(place: GeoPoint, start: float, hours: float, label: str = "x") -> PoiVisit:
+    return PoiVisit(place=place, start=start, end=start + hours * 3600.0, label=label)
+
+
+@pytest.fixture()
+def truth() -> GroundTruth:
+    truth = GroundTruth(users={"u": UserTruth(user="u", home=HOME, work=WORK)})
+    truth.add_visit("u", visit(HOME, 0, 10, "home"))
+    truth.add_visit("u", visit(WORK, 40000, 8, "work"))
+    truth.add_visit("u", visit(CAFE, 70000, 1, "leisure"))
+    truth.add_visit("u", visit(HOME, 76000, 2, "home"))
+    return truth
+
+
+class TestPoiRanking:
+    def test_ordered_by_total_dwell(self, truth):
+        pois = truth.pois_of("u")
+        assert pois == [HOME, WORK, CAFE]  # 12h, 8h, 1h
+
+    def test_min_dwell_cuts_tail(self, truth):
+        pois = truth.pois_of("u", min_total_dwell=2 * 3600.0)
+        assert CAFE not in pois
+        assert pois == [HOME, WORK]
+
+    def test_no_visits_empty(self):
+        truth = GroundTruth(users={"v": UserTruth(user="v", home=HOME, work=WORK)})
+        assert truth.pois_of("v") == []
+
+
+class TestMatchRate:
+    def test_exact_match(self, truth):
+        assert truth.match_rate("u", [HOME, WORK, CAFE], radius_m=10.0) == 1.0
+
+    def test_partial_match(self, truth):
+        assert truth.match_rate("u", [HOME], radius_m=10.0) == pytest.approx(1 / 3)
+
+    def test_radius_tolerance(self, truth):
+        near_home = GeoPoint(HOME.lat + 0.001, HOME.lon)  # ~111 m away
+        assert truth.match_rate("u", [near_home], radius_m=50.0) == 0.0
+        assert truth.match_rate("u", [near_home], radius_m=150.0) == pytest.approx(1 / 3)
+
+    def test_min_dwell_interacts(self, truth):
+        rate = truth.match_rate(
+            "u", [CAFE], radius_m=10.0, min_total_dwell=2 * 3600.0
+        )
+        assert rate == 0.0  # CAFE filtered out of the reference set
+
+    def test_empty_candidates(self, truth):
+        assert truth.match_rate("u", [], radius_m=100.0) == 0.0
+
+    def test_no_truth_user_zero(self):
+        truth = GroundTruth(users={"v": UserTruth(user="v", home=HOME, work=WORK)})
+        assert truth.match_rate("v", [HOME], radius_m=100.0) == 0.0
+
+
+class TestPoiVisit:
+    def test_dwell(self):
+        assert visit(HOME, 0, 2).dwell == 7200.0

@@ -1,0 +1,101 @@
+"""Unit tests for user profiles and daily schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.point import GeoPoint
+from repro.mobility.schedule import DailySchedule, Stay, UserProfile
+from repro.units import DAY, HOUR
+
+HOME = GeoPoint(44.80, -0.60)
+WORK = GeoPoint(44.84, -0.57)
+CAFE = GeoPoint(44.83, -0.58)
+
+
+def make_profile(**overrides) -> UserProfile:
+    defaults = dict(
+        user="u",
+        home=HOME,
+        work=WORK,
+        leisure=(CAFE,),
+        leisure_probability=0.5,
+        home_day_probability=0.1,
+    )
+    defaults.update(overrides)
+    return UserProfile(**defaults)
+
+
+class TestStay:
+    def test_dwell(self):
+        stay = Stay(HOME, 0.0, 3600.0)
+        assert stay.dwell == 3600.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(GeoError):
+            Stay(HOME, 100.0, 50.0)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(GeoError):
+            Stay(HOME, 100.0, 100.0)
+
+
+class TestDailySchedule:
+    def test_overlap_rejected(self):
+        with pytest.raises(GeoError):
+            DailySchedule(
+                stays=(Stay(HOME, 0.0, 10 * HOUR), Stay(WORK, 9 * HOUR, 17 * HOUR))
+            )
+
+    def test_touching_stays_allowed(self):
+        DailySchedule(stays=(Stay(HOME, 0.0, 9 * HOUR), Stay(WORK, 9 * HOUR, 17 * HOUR)))
+
+
+class TestSampleDay:
+    def test_schedule_is_ordered_and_within_day(self):
+        profile = make_profile()
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            schedule = profile.sample_day(rng)
+            for stay in schedule.stays:
+                assert 0.0 <= stay.start < stay.end <= DAY
+
+    def test_home_day_probability_one_gives_all_home(self):
+        profile = make_profile(home_day_probability=1.0)
+        schedule = profile.sample_day(np.random.default_rng(2))
+        assert len(schedule.stays) == 1
+        assert schedule.stays[0].place == HOME
+        assert schedule.stays[0].dwell == DAY
+
+    def test_work_day_contains_home_and_work(self):
+        profile = make_profile(home_day_probability=0.0, leisure_probability=0.0)
+        schedule = profile.sample_day(np.random.default_rng(3))
+        labels = [stay.label for stay in schedule.stays]
+        assert labels[0] == "home"
+        assert "work" in labels
+        assert labels[-1] == "home"
+
+    def test_leisure_appears_with_probability_one(self):
+        profile = make_profile(home_day_probability=0.0, leisure_probability=1.0)
+        rng = np.random.default_rng(4)
+        found = sum(
+            "leisure" in [s.label for s in profile.sample_day(rng).stays]
+            for _ in range(30)
+        )
+        # The leisure stop is skipped only when the work day ends too late.
+        assert found >= 20
+
+    def test_no_leisure_with_probability_zero(self):
+        profile = make_profile(home_day_probability=0.0, leisure_probability=0.0)
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            labels = [s.label for s in profile.sample_day(rng).stays]
+            assert "leisure" not in labels
+
+    def test_work_stay_at_work_place(self):
+        profile = make_profile(home_day_probability=0.0)
+        schedule = profile.sample_day(np.random.default_rng(6))
+        work_stays = [s for s in schedule.stays if s.label == "work"]
+        assert len(work_stays) == 1
+        assert work_stays[0].place == WORK
+        assert work_stays[0].dwell >= 4 * HOUR

@@ -1,0 +1,111 @@
+"""Unit tests for mobility statistics and GeoJSON export."""
+
+import json
+
+import pytest
+
+from repro.geo.grid import SpatialGrid
+from repro.mobility.geojson import (
+    dataset_to_geojson,
+    poi_feature,
+    pois_to_geojson,
+    trajectory_feature,
+    write_geojson,
+)
+from repro.mobility.stats import (
+    daily_distance_km,
+    radius_of_gyration_m,
+    summarize,
+    visited_cell_entropy,
+)
+from repro.privacy import PoiAttack
+from repro.mobility.dataset import MobilityDataset
+from tests.conftest import make_trajectory
+
+
+class TestRadiusOfGyration:
+    def test_stationary_is_small(self):
+        trajectory = make_trajectory(
+            points=[(44.80, -0.58)] * 3, times=[0.0, 60.0, 120.0]
+        )
+        assert radius_of_gyration_m(trajectory) < 1.0
+
+    def test_commuters_in_km_range(self, medium_population):
+        for trajectory in medium_population.dataset:
+            gyration = radius_of_gyration_m(trajectory)
+            assert 200.0 < gyration < 20_000.0
+
+
+class TestDailyDistance:
+    def test_one_value_per_day(self, small_population):
+        trajectory = small_population.dataset.get(small_population.dataset.users[0])
+        distances = daily_distance_km(trajectory)
+        assert len(distances) == 3
+        assert all(d >= 0 for d in distances)
+
+
+class TestEntropy:
+    def test_single_cell_zero_entropy(self, small_population):
+        grid = SpatialGrid(small_population.city.bounding_box, cell_size_m=500.0)
+        stationary = make_trajectory(
+            points=[(44.8378, -0.5792)] * 5, times=[60.0 * i for i in range(5)]
+        )
+        assert visited_cell_entropy(stationary, grid) == 0.0
+
+    def test_real_users_positive_entropy(self, small_population):
+        grid = SpatialGrid(small_population.city.bounding_box, cell_size_m=500.0)
+        for trajectory in small_population.dataset:
+            assert visited_cell_entropy(trajectory, grid) > 0.5
+
+
+class TestSummary:
+    def test_fields_consistent(self, small_population):
+        summary = summarize(small_population.dataset)
+        assert summary.n_users == 5
+        assert summary.n_records == small_population.dataset.n_records
+        assert summary.span_days == pytest.approx(3.0, abs=0.1)
+        assert summary.mean_records_per_user == pytest.approx(
+            summary.n_records / 5, rel=0.01
+        )
+        assert "users=5" in summary.to_text()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(MobilityDataset([]))
+
+
+class TestGeoJson:
+    def test_trajectory_feature_structure(self):
+        trajectory = make_trajectory()
+        feature = trajectory_feature(trajectory)
+        assert feature["geometry"]["type"] == "LineString"
+        assert len(feature["geometry"]["coordinates"]) == len(trajectory)
+        lon, lat = feature["geometry"]["coordinates"][0]
+        assert lat == trajectory.records[0].lat
+        assert lon == trajectory.records[0].lon
+
+    def test_dataset_collection(self, small_population):
+        collection = dataset_to_geojson(small_population.dataset)
+        assert collection["type"] == "FeatureCollection"
+        assert len(collection["features"]) == 5
+
+    def test_poi_features(self, small_population):
+        pois = PoiAttack().run(small_population.dataset)
+        collection = pois_to_geojson(pois)
+        assert all(
+            feature["geometry"]["type"] == "Point"
+            for feature in collection["features"]
+        )
+        assert all("user" in f["properties"] for f in collection["features"])
+
+    def test_bare_point_feature(self):
+        from repro.geo.point import GeoPoint
+
+        feature = poi_feature(GeoPoint(44.8, -0.58))
+        assert feature["geometry"]["coordinates"] == [-0.58, 44.8]
+
+    def test_write_valid_json(self, tmp_path, small_population):
+        path = tmp_path / "out.geojson"
+        write_geojson(dataset_to_geojson(small_population.dataset), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["type"] == "FeatureCollection"

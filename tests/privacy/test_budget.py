@@ -1,0 +1,73 @@
+"""Unit tests for the privacy budget ledger."""
+
+import pytest
+
+from repro.errors import PrivacyRequirementError
+from repro.privacy.budget import PrivacyBudgetLedger
+
+
+class TestValidation:
+    def test_bad_caps(self):
+        with pytest.raises(PrivacyRequirementError):
+            PrivacyBudgetLedger(epsilon_cap=0.0)
+        with pytest.raises(PrivacyRequirementError):
+            PrivacyBudgetLedger(exposure_cap=0)
+
+    def test_negative_epsilon_release(self):
+        ledger = PrivacyBudgetLedger()
+        with pytest.raises(PrivacyRequirementError):
+            ledger.can_release(["u"], epsilon=-0.1)
+
+
+class TestAccounting:
+    def test_fresh_user_has_full_budget(self):
+        ledger = PrivacyBudgetLedger(epsilon_cap=1.0, exposure_cap=5)
+        assert ledger.remaining_epsilon("alice") == 1.0
+        assert ledger.remaining_exposures("alice") == 5
+
+    def test_epsilon_composes_additively(self):
+        ledger = PrivacyBudgetLedger(epsilon_cap=1.0)
+        ledger.authorize(["alice"], epsilon=0.3)
+        ledger.authorize(["alice"], epsilon=0.3)
+        assert ledger.remaining_epsilon("alice") == pytest.approx(0.4)
+        assert ledger.account("alice").exposures == 2
+
+    def test_exposure_cap_enforced(self):
+        ledger = PrivacyBudgetLedger(epsilon_cap=100.0, exposure_cap=2)
+        ledger.authorize(["alice"])
+        ledger.authorize(["alice"])
+        with pytest.raises(PrivacyRequirementError):
+            ledger.authorize(["alice"])
+
+    def test_epsilon_cap_enforced(self):
+        ledger = PrivacyBudgetLedger(epsilon_cap=0.5, exposure_cap=100)
+        ledger.authorize(["alice"], epsilon=0.4)
+        with pytest.raises(PrivacyRequirementError):
+            ledger.authorize(["alice"], epsilon=0.2)
+
+    def test_atomic_charging(self):
+        """If one user is over budget, nobody gets charged."""
+        ledger = PrivacyBudgetLedger(epsilon_cap=0.5)
+        ledger.authorize(["alice"], epsilon=0.4)
+        with pytest.raises(PrivacyRequirementError):
+            ledger.authorize(["alice", "bob"], epsilon=0.2)
+        assert ledger.account("bob").exposures == 0
+        assert ledger.account("bob").epsilon_spent == 0.0
+
+    def test_structural_release_costs_exposure_only(self):
+        ledger = PrivacyBudgetLedger(epsilon_cap=1.0, exposure_cap=3)
+        ledger.authorize(["alice"], epsilon=0.0)  # smoothing release
+        assert ledger.remaining_epsilon("alice") == 1.0
+        assert ledger.remaining_exposures("alice") == 2
+
+    def test_summary_ordering(self):
+        ledger = PrivacyBudgetLedger(epsilon_cap=2.0)
+        ledger.authorize(["alice"], epsilon=0.9)
+        ledger.authorize(["bob"], epsilon=0.1)
+        summary = ledger.summary()
+        assert [b.user for b in summary] == ["alice", "bob"]
+
+    def test_can_release_is_pure(self):
+        ledger = PrivacyBudgetLedger()
+        assert ledger.can_release(["alice"], epsilon=0.5)
+        assert ledger.account("alice").exposures == 0

@@ -1,0 +1,118 @@
+"""Unit tests for POI suppression and mechanism composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError
+from repro.geo.distance import haversine_m
+from repro.privacy import PoiAttack, poi_recall
+from repro.privacy.mechanisms import (
+    CompositeMechanism,
+    GeoIndistinguishabilityMechanism,
+    IdentityMechanism,
+    PoiSuppressionMechanism,
+    SpeedSmoothingMechanism,
+)
+from repro.units import HOUR
+
+
+def mean_recall(population, protected, radius_m=250.0):
+    found = PoiAttack(denoise_window=9).run(protected)
+    recalls = [
+        poi_recall(
+            population.truth.pois_of(user, min_total_dwell=2 * HOUR),
+            found.get(user, []),
+            radius_m=radius_m,
+        )
+        for user in population.dataset.users
+        if user in protected
+    ]
+    return sum(recalls) / len(recalls) if recalls else 0.0
+
+
+class TestPoiSuppression:
+    def test_invalid_radius(self):
+        with pytest.raises(MechanismError):
+            PoiSuppressionMechanism(erase_radius_m=0.0)
+
+    def test_records_near_stays_removed(self, medium_population):
+        mechanism = PoiSuppressionMechanism(erase_radius_m=400.0)
+        protected = mechanism.protect(medium_population.dataset, seed=1)
+        # Every surviving record must be far from the user's home.
+        for trajectory in protected:
+            home = medium_population.profiles[trajectory.user].home
+            for record in trajectory.records:
+                assert haversine_m(record.point, home) > 350.0
+
+    def test_reduces_poi_recall(self, medium_population):
+        mechanism = PoiSuppressionMechanism(erase_radius_m=400.0)
+        protected = mechanism.protect(medium_population.dataset, seed=1)
+        raw_recall = mean_recall(medium_population, medium_population.dataset)
+        suppressed_recall = mean_recall(medium_population, protected)
+        assert suppressed_recall < raw_recall / 2
+
+    def test_movement_preserved(self, medium_population):
+        mechanism = PoiSuppressionMechanism(erase_radius_m=400.0)
+        protected = mechanism.protect(medium_population.dataset, seed=1)
+        # Only the commute fragments survive (people spend most of the
+        # day *at* POIs — which is exactly the weakness of suppression
+        # compared to smoothing), but those fragments must survive.
+        assert protected.n_records > 200
+        assert len(protected) >= len(medium_population.dataset) // 2
+
+    def test_trajectory_without_stays_untouched(self, straight_line_trajectory):
+        mechanism = PoiSuppressionMechanism()
+        result = mechanism.protect_trajectory(
+            straight_line_trajectory, np.random.default_rng(1)
+        )
+        assert result is not None
+        assert result.records == straight_line_trajectory.records
+
+
+class TestComposite:
+    def test_needs_two_members(self):
+        with pytest.raises(MechanismError):
+            CompositeMechanism([IdentityMechanism()])
+
+    def test_name_concatenates(self):
+        composite = CompositeMechanism(
+            [SpeedSmoothingMechanism(100.0), GeoIndistinguishabilityMechanism(0.05)]
+        )
+        assert composite.name == "speed-smoothing+geo-indistinguishability"
+
+    def test_identity_composition_is_identity(self, small_population):
+        composite = CompositeMechanism([IdentityMechanism(), IdentityMechanism()])
+        protected = composite.protect(small_population.dataset, seed=1)
+        for trajectory in protected:
+            original = small_population.dataset.get(trajectory.user)
+            assert trajectory.records == original.records
+
+    def test_smoothing_plus_noise_hides_pois(self, medium_population):
+        composite = CompositeMechanism(
+            [SpeedSmoothingMechanism(100.0), GeoIndistinguishabilityMechanism(0.05)]
+        )
+        protected = composite.protect(medium_population.dataset, seed=1)
+        assert mean_recall(medium_population, protected) <= 0.3
+
+    def test_composition_order_applies_left_to_right(self, medium_population):
+        """Smoothing first keeps chord structure; noise after shifts each
+        point: consecutive distances vary around the smoothing step."""
+        composite = CompositeMechanism(
+            [SpeedSmoothingMechanism(100.0), GeoIndistinguishabilityMechanism(0.05)]
+        )
+        protected = composite.protect(medium_population.dataset, seed=1)
+        trajectory = next(iter(protected))
+        day = trajectory.split_by_day()[0]
+        gaps = [
+            haversine_m(a.point, b.point)
+            for a, b in zip(day.records, day.records[1:])
+        ]
+        mean_gap = sum(gaps) / len(gaps)
+        assert 60.0 < mean_gap < 220.0  # ~100 m steps + ~40 m noise
+
+    def test_describe_lists_members(self):
+        composite = CompositeMechanism(
+            [SpeedSmoothingMechanism(100.0), GeoIndistinguishabilityMechanism(0.05)]
+        )
+        description = composite.describe()
+        assert len(description["members"]) == 2

@@ -1,0 +1,79 @@
+"""Unit tests for the home-identification attack."""
+
+import pytest
+
+from repro.privacy.attacks import (
+    HomeIdentificationAttack,
+    home_identification_rate,
+)
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    KAnonymityCloakingMechanism,
+    SpeedSmoothingMechanism,
+)
+
+
+@pytest.fixture(scope="module")
+def true_homes(medium_population):
+    return {u: t.home for u, t in medium_population.truth.users.items()}
+
+
+class TestOnRawData:
+    def test_finds_every_home(self, medium_population, true_homes):
+        attack = HomeIdentificationAttack()
+        guesses = attack.run(medium_population.dataset)
+        assert home_identification_rate(guesses, true_homes) == 1.0
+
+    def test_night_fixes_counted(self, medium_population):
+        attack = HomeIdentificationAttack()
+        guess = attack.guess_home(next(iter(medium_population.dataset)))
+        # 8 h of night at 2-minute sampling over 6 days ~ 1400 fixes.
+        assert guess.night_fixes > 500
+
+    def test_no_night_data_abstains(self):
+        from tests.conftest import make_trajectory
+
+        attack = HomeIdentificationAttack()
+        # All fixes at noon.
+        daytime = make_trajectory(times=[43200.0, 43260.0, 43320.0])
+        guess = attack.guess_home(daytime)
+        assert guess.location is None
+        assert guess.night_fixes == 0
+
+
+class TestUnderProtection:
+    def test_geo_ind_does_not_stop_home_id(self, medium_population, true_homes):
+        protected = GeoIndistinguishabilityMechanism(0.01).protect(
+            medium_population.dataset, seed=2
+        )
+        guesses = HomeIdentificationAttack().run(protected)
+        # Night fixes cluster around home; their modal cell centroid
+        # still lands nearby despite 200 m mean noise.
+        assert home_identification_rate(guesses, true_homes) >= 0.6
+
+    def test_k_anonymity_blocks_home_id(self, medium_population, true_homes):
+        protected = KAnonymityCloakingMechanism(k=4, base_cell_m=250.0).protect(
+            medium_population.dataset, seed=2
+        )
+        guesses = HomeIdentificationAttack().run(protected)
+        assert home_identification_rate(guesses, true_homes) <= 0.4
+
+    def test_smoothing_reduces_home_id(self, medium_population, true_homes):
+        raw_rate = home_identification_rate(
+            HomeIdentificationAttack().run(medium_population.dataset), true_homes
+        )
+        protected = SpeedSmoothingMechanism(250.0).protect(
+            medium_population.dataset, seed=2
+        )
+        smoothed_rate = home_identification_rate(
+            HomeIdentificationAttack().run(protected), true_homes
+        )
+        assert smoothed_rate < raw_rate
+
+
+class TestRateMetric:
+    def test_empty_truth(self):
+        assert home_identification_rate({}, {}) == 0.0
+
+    def test_missing_guess_counts_as_miss(self, true_homes):
+        assert home_identification_rate({}, true_homes) == 0.0

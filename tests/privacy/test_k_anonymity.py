@@ -1,0 +1,111 @@
+"""Unit tests for k-anonymity cloaking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError
+from repro.privacy import PoiAttack, poi_recall
+from repro.privacy.mechanisms import KAnonymityCloakingMechanism
+from repro.units import HOUR
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"k": 1}, {"base_cell_m": 0.0}, {"max_levels": 0}],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(MechanismError):
+            KAnonymityCloakingMechanism(**kwargs)
+
+    def test_standalone_trajectory_rejected(self, medium_population):
+        mechanism = KAnonymityCloakingMechanism(k=3)
+        trajectory = next(iter(medium_population.dataset))
+        with pytest.raises(MechanismError):
+            mechanism.protect_trajectory(trajectory, np.random.default_rng(1))
+
+
+class TestAnonymityGuarantee:
+    def test_every_published_region_has_k_users(self, medium_population):
+        """Core property: each published position is a region centre that
+        at least k distinct users of the raw dataset visit."""
+        k = 4
+        mechanism = KAnonymityCloakingMechanism(k=k, base_cell_m=250.0)
+        protected = mechanism.protect(medium_population.dataset, seed=1)
+
+        # Rebuild the per-level visitor index the mechanism used.
+        from repro.geo.grid import SpatialGrid
+
+        bbox = medium_population.dataset.bounding_box.expanded(0.01)
+        grids = [SpatialGrid(bbox, 250.0 * (2**level)) for level in range(6)]
+        visitor_index = []
+        for grid in grids:
+            visitors: dict[tuple[int, int], set[str]] = {}
+            for user, record in medium_population.dataset.all_records():
+                visitors.setdefault(grid.cell_of(record.point), set()).add(user)
+            visitor_index.append(visitors)
+
+        centres_checked = 0
+        for _, record in protected.all_records():
+            # The published point is the centre of SOME level's cell; at
+            # that level the cell must hold >= k users.
+            for grid, visitors in zip(grids, visitor_index):
+                cell = grid.cell_of(record.point)
+                centre = grid.center_of(cell)
+                from repro.geo.distance import haversine_m
+
+                if haversine_m(centre, record.point) < 1.0:
+                    assert len(visitors.get(cell, set())) >= k
+                    centres_checked += 1
+                    break
+        assert centres_checked > protected.n_records * 0.95
+
+    def test_positions_are_generalized(self, medium_population):
+        mechanism = KAnonymityCloakingMechanism(k=4, base_cell_m=250.0)
+        protected = mechanism.protect(medium_population.dataset, seed=1)
+        distinct = {
+            (round(r.lat, 6), round(r.lon, 6)) for _, r in protected.all_records()
+        }
+        raw_distinct = {
+            (round(r.lat, 6), round(r.lon, 6))
+            for _, r in medium_population.dataset.all_records()
+        }
+        assert len(distinct) < len(raw_distinct) / 10
+
+
+class TestPrivacyUtility:
+    def test_hides_low_density_homes(self, medium_population):
+        """Homes are residential (low shared density), so they coarsen
+        hard and the POI attack loses them."""
+        mechanism = KAnonymityCloakingMechanism(k=4, base_cell_m=250.0)
+        protected = mechanism.protect(medium_population.dataset, seed=1)
+        found = PoiAttack(denoise_window=9).run(protected)
+        recalls = [
+            poi_recall(
+                medium_population.truth.pois_of(u, min_total_dwell=2 * HOUR),
+                found.get(u, []),
+                radius_m=250.0,
+            )
+            for u in protected.users
+        ]
+        assert sum(recalls) / len(recalls) <= 0.35
+
+    def test_larger_k_more_generalization(self, medium_population):
+        loose = KAnonymityCloakingMechanism(k=2, base_cell_m=250.0).protect(
+            medium_population.dataset, seed=1
+        )
+        strict = KAnonymityCloakingMechanism(k=8, base_cell_m=250.0).protect(
+            medium_population.dataset, seed=1
+        )
+
+        def distinct_positions(dataset):
+            return len(
+                {(round(r.lat, 6), round(r.lon, 6)) for _, r in dataset.all_records()}
+            )
+
+        assert distinct_positions(strict) <= distinct_positions(loose)
+
+    def test_most_records_survive(self, medium_population):
+        mechanism = KAnonymityCloakingMechanism(k=4, base_cell_m=250.0)
+        protected = mechanism.protect(medium_population.dataset, seed=1)
+        assert protected.n_records >= medium_population.dataset.n_records * 0.8

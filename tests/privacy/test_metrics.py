@@ -1,0 +1,117 @@
+"""Unit tests for privacy metrics."""
+
+import pytest
+
+from repro.geo.point import GeoPoint
+from repro.privacy.mechanisms import GeoIndistinguishabilityMechanism, IdentityMechanism
+from repro.privacy.metrics import (
+    dataset_distortion_m,
+    mean_spatial_distortion_m,
+    poi_f1,
+    poi_precision,
+    poi_recall,
+    reidentification_rate,
+    suppression_rate,
+)
+from repro.privacy.pois import Poi
+from tests.conftest import make_trajectory
+
+A = GeoPoint(44.80, -0.60)
+B = GeoPoint(44.84, -0.56)
+NEAR_A = GeoPoint(44.8005, -0.6005)  # ~70 m from A
+FAR = GeoPoint(44.90, -0.40)
+
+
+def poi(center: GeoPoint) -> Poi:
+    return Poi(center=center, total_dwell=3600.0, n_visits=1)
+
+
+class TestPoiRecall:
+    def test_perfect(self):
+        assert poi_recall([A, B], [poi(A), poi(B)], radius_m=10.0) == 1.0
+
+    def test_partial(self):
+        assert poi_recall([A, B], [poi(A)], radius_m=10.0) == 0.5
+
+    def test_radius_matters(self):
+        assert poi_recall([A], [poi(NEAR_A)], radius_m=10.0) == 0.0
+        assert poi_recall([A], [poi(NEAR_A)], radius_m=200.0) == 1.0
+
+    def test_empty_truth(self):
+        assert poi_recall([], [poi(A)]) == 0.0
+
+    def test_accepts_geopoints(self):
+        assert poi_recall([A], [A], radius_m=10.0) == 1.0
+
+
+class TestPoiPrecision:
+    def test_all_matched(self):
+        assert poi_precision([A, B], [poi(A)], radius_m=10.0) == 1.0
+
+    def test_false_positives(self):
+        assert poi_precision([A], [poi(A), poi(FAR)], radius_m=10.0) == 0.5
+
+    def test_empty_found(self):
+        assert poi_precision([A], [], radius_m=10.0) == 0.0
+
+
+class TestPoiF1:
+    def test_harmonic_mean(self):
+        f1 = poi_f1([A, B], [poi(A), poi(FAR)], radius_m=10.0)
+        assert f1 == pytest.approx(0.5)
+
+    def test_zero_when_nothing_matches(self):
+        assert poi_f1([A], [poi(FAR)], radius_m=10.0) == 0.0
+
+
+class TestReidentificationRate:
+    def test_all_correct(self):
+        secret = {"p1": "alice", "p2": "bob"}
+        assert reidentification_rate(secret, {"p1": "alice", "p2": "bob"}) == 1.0
+
+    def test_abstention_counts_as_miss(self):
+        secret = {"p1": "alice", "p2": "bob"}
+        assert reidentification_rate(secret, {"p1": "alice", "p2": None}) == 0.5
+
+    def test_missing_guess_counts_as_miss(self):
+        secret = {"p1": "alice", "p2": "bob"}
+        assert reidentification_rate(secret, {"p1": "alice"}) == 0.5
+
+    def test_empty_secret(self):
+        assert reidentification_rate({}, {}) == 0.0
+
+
+class TestSpatialDistortion:
+    def test_identity_zero(self):
+        trajectory = make_trajectory()
+        assert mean_spatial_distortion_m(trajectory, trajectory) == pytest.approx(0.0, abs=0.5)
+
+    def test_constant_shift_measured(self):
+        trajectory = make_trajectory()
+        shifted = trajectory.map_points(lambda r: GeoPoint(r.lat + 0.001, r.lon))
+        distortion = mean_spatial_distortion_m(trajectory, shifted)
+        assert distortion == pytest.approx(111.2, rel=0.05)
+
+    def test_disjoint_spans_infinite(self):
+        raw = make_trajectory(times=[0.0, 60.0, 120.0])
+        late = make_trajectory(times=[1000.0, 1060.0, 1120.0])
+        assert mean_spatial_distortion_m(raw, late) == float("inf")
+
+
+class TestDatasetLevel:
+    def test_identity_dataset_distortion(self, small_population):
+        protected = IdentityMechanism().protect(small_population.dataset)
+        assert dataset_distortion_m(small_population.dataset, protected) < 1.0
+
+    def test_noise_increases_distortion(self, small_population):
+        noisy = GeoIndistinguishabilityMechanism(epsilon=0.01).protect(
+            small_population.dataset, seed=1
+        )
+        distortion = dataset_distortion_m(small_population.dataset, noisy)
+        assert 50.0 < distortion < 2000.0
+
+    def test_suppression_rate(self, small_population):
+        protected = IdentityMechanism().protect(small_population.dataset)
+        assert suppression_rate(small_population.dataset, protected) == 0.0
+        empty = small_population.dataset.map_trajectories(lambda t: None)
+        assert suppression_rate(small_population.dataset, empty) == 1.0

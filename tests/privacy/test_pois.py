@@ -1,0 +1,148 @@
+"""Unit tests for POI extraction (stay points + clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError
+from repro.geo.point import GeoPoint, Record
+from repro.geo.trajectory import Trajectory
+from repro.privacy.pois import PoiExtractor, PoiExtractorConfig
+from repro.units import HOUR, MINUTE
+
+HOME = GeoPoint(44.80, -0.60)
+WORK = GeoPoint(44.84, -0.56)
+
+
+def stop_and_go_trajectory(
+    dwell_minutes: float = 60.0,
+    noise_deg: float = 0.00005,
+    seed: int = 1,
+) -> Trajectory:
+    """Dwell at HOME, commute, dwell at WORK, one fix per minute."""
+    rng = np.random.default_rng(seed)
+    records = []
+    time = 0.0
+
+    def dwell(place: GeoPoint, minutes: float) -> None:
+        nonlocal time
+        for _ in range(int(minutes)):
+            records.append(
+                Record(
+                    point=GeoPoint(
+                        place.lat + float(rng.normal(0, noise_deg)),
+                        place.lon + float(rng.normal(0, noise_deg)),
+                    ),
+                    time=time,
+                )
+            )
+            time += 60.0
+
+    def commute(a: GeoPoint, b: GeoPoint, minutes: int = 20) -> None:
+        nonlocal time
+        for i in range(minutes):
+            f = (i + 1) / minutes
+            records.append(
+                Record(
+                    point=GeoPoint(a.lat + (b.lat - a.lat) * f, a.lon + (b.lon - a.lon) * f),
+                    time=time,
+                )
+            )
+            time += 60.0
+
+    dwell(HOME, dwell_minutes)
+    commute(HOME, WORK)
+    dwell(WORK, dwell_minutes)
+    return Trajectory.from_records("u", records)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"roam_distance_m": 0.0},
+            {"min_dwell": -1.0},
+            {"merge_radius_m": -5.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(MechanismError):
+            PoiExtractorConfig(**kwargs)
+
+
+class TestStayPoints:
+    def test_finds_both_stops(self):
+        extractor = PoiExtractor()
+        stays = extractor.stay_points(stop_and_go_trajectory())
+        assert len(stays) == 2
+        assert stays[0].dwell >= 45 * MINUTE
+        assert stays[1].start > stays[0].end
+
+    def test_stay_centers_near_anchors(self):
+        from repro.geo.distance import haversine_m
+
+        stays = PoiExtractor().stay_points(stop_and_go_trajectory())
+        assert haversine_m(stays[0].center, HOME) < 50.0
+        assert haversine_m(stays[1].center, WORK) < 50.0
+
+    def test_short_dwell_ignored(self):
+        extractor = PoiExtractor(PoiExtractorConfig(min_dwell=30 * MINUTE))
+        stays = extractor.stay_points(stop_and_go_trajectory(dwell_minutes=10))
+        assert stays == []
+
+    def test_commute_not_a_stay(self):
+        # Pure movement trajectory: no dwell episodes at all.
+        records = [
+            Record(point=GeoPoint(44.80 + 0.002 * i, -0.60), time=60.0 * i)
+            for i in range(60)
+        ]
+        trajectory = Trajectory.from_records("u", records)
+        assert PoiExtractor().stay_points(trajectory) == []
+
+    def test_stay_point_count_records(self):
+        stays = PoiExtractor().stay_points(stop_and_go_trajectory(dwell_minutes=30))
+        assert all(s.n_records >= 15 for s in stays)
+
+
+class TestClustering:
+    def test_repeated_visits_merge(self):
+        extractor = PoiExtractor()
+        day1 = extractor.stay_points(stop_and_go_trajectory(seed=1))
+        day2 = extractor.stay_points(stop_and_go_trajectory(seed=2))
+        pois = extractor.cluster(day1 + day2)
+        assert len(pois) == 2  # HOME and WORK, each visited twice
+        assert all(p.n_visits == 2 for p in pois)
+
+    def test_dwell_accumulates(self):
+        extractor = PoiExtractor()
+        stays = extractor.stay_points(stop_and_go_trajectory(dwell_minutes=60))
+        pois = extractor.cluster(stays + stays)
+        for poi in pois:
+            assert poi.total_dwell >= 100 * MINUTE
+
+    def test_min_total_dwell_filters(self):
+        config = PoiExtractorConfig(min_total_dwell=10 * HOUR)
+        extractor = PoiExtractor(config)
+        assert extractor.extract(stop_and_go_trajectory(dwell_minutes=60)) == []
+
+    def test_ranked_by_dwell(self):
+        extractor = PoiExtractor()
+        trajectory = stop_and_go_trajectory(dwell_minutes=60)
+        pois = extractor.extract(trajectory)
+        dwells = [p.total_dwell for p in pois]
+        assert dwells == sorted(dwells, reverse=True)
+
+    def test_empty_input(self):
+        assert PoiExtractor().cluster([]) == []
+
+
+class TestExtractMany:
+    def test_pools_across_days(self, medium_population):
+        extractor = PoiExtractor()
+        user = medium_population.dataset.users[0]
+        days = medium_population.dataset.get(user).split_by_day()
+        pooled = extractor.extract_many(days)
+        # Home must emerge as the top POI across days.
+        from repro.geo.distance import haversine_m
+
+        home = medium_population.profiles[user].home
+        assert haversine_m(pooled[0].center, home) < 150.0

@@ -1,0 +1,134 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(30.0, lambda: fired.append("late"))
+        sim.schedule_at(10.0, lambda: fired.append("early"))
+        sim.schedule_at(20.0, lambda: fired.append("middle"))
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        fired = []
+        for label in "abc":
+            sim.schedule_at(5.0, lambda l=label: fired.append(l))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_relative_schedule(self):
+        sim = Simulator(start_time=100.0)
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [105.0]
+
+    def test_past_schedule_rejected(self):
+        sim = Simulator(start_time=50.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(49.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(10.0, lambda: seen.append(("inner", sim.now)))
+
+        sim.schedule_at(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 11.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        token = sim.schedule_at(5.0, lambda: fired.append("x"))
+        token.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_periodic_stops_series(self):
+        sim = Simulator()
+        fired = []
+        token = sim.schedule_periodic(10.0, lambda: fired.append(sim.now))
+
+        def stop():
+            token.cancel()
+
+        sim.schedule_at(35.0, stop)
+        sim.run_until(100.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+
+class TestPeriodic:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_periodic(10.0, lambda: fired.append(sim.now), until=50.0)
+        sim.run()
+        assert fired == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_first_at_override(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_periodic(10.0, lambda: fired.append(sim.now), until=30.0, first_at=5.0)
+        sim.run()
+        assert fired == [5.0, 15.0, 25.0]
+
+    def test_invalid_period(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+
+class TestRunUntil:
+    def test_time_advances_even_with_empty_queue(self):
+        sim = Simulator()
+        sim.run_until(500.0)
+        assert sim.now == 500.0
+
+    def test_future_events_not_fired(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(100.0, lambda: fired.append("later"))
+        sim.run_until(50.0)
+        assert fired == []
+        sim.run_until(150.0)
+        assert fired == ["later"]
+
+    def test_backwards_run_rejected(self):
+        sim = Simulator()
+        sim.run_until(100.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(50.0)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+
+class TestRunawayProtection:
+    def test_fuse_trips(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)

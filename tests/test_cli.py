@@ -1,0 +1,197 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.mobility import MobilityDataset
+
+
+@pytest.fixture(scope="module")
+def raw_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "raw.csv"
+    code = main(
+        [
+            "generate",
+            "--users", "6",
+            "--days", "3",
+            "--period", "180",
+            "--seed", "5",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_output_readable(self, raw_csv):
+        dataset = MobilityDataset.from_csv(raw_csv)
+        assert len(dataset) == 6
+        assert dataset.n_records > 1000
+
+    def test_deterministic(self, tmp_path, raw_csv):
+        other = tmp_path / "again.csv"
+        main(
+            [
+                "generate",
+                "--users", "6",
+                "--days", "3",
+                "--period", "180",
+                "--seed", "5",
+                "--out", str(other),
+            ]
+        )
+        assert other.read_text() == raw_csv.read_text()
+
+
+class TestProtect:
+    @pytest.mark.parametrize(
+        "mechanism_args",
+        [
+            ["--mechanism", "speed-smoothing", "--epsilon-m", "150"],
+            ["--mechanism", "geo-indistinguishability", "--epsilon", "0.01"],
+            ["--mechanism", "spatial-cloaking", "--cell-m", "500"],
+            ["--mechanism", "temporal-downsampling", "--window-s", "600"],
+            ["--mechanism", "identity"],
+        ],
+    )
+    def test_each_mechanism(self, raw_csv, tmp_path, mechanism_args):
+        out = tmp_path / "prot.csv"
+        code = main(
+            ["protect", "--input", str(raw_csv), "--out", str(out), *mechanism_args]
+        )
+        assert code == 0
+        protected = MobilityDataset.from_csv(out)
+        assert len(protected) >= 1
+
+
+class TestAttack:
+    def test_poi_attack_runs(self, raw_csv, capsys):
+        code = main(["attack", "--input", str(raw_csv)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "candidate POIs" in output
+
+    def test_linkage_with_background(self, raw_csv, capsys):
+        code = main(
+            ["attack", "--input", str(raw_csv), "--background", str(raw_csv)]
+        )
+        assert code == 0
+        assert "re-identification" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_metrics_printed(self, raw_csv, tmp_path, capsys):
+        out = tmp_path / "prot.csv"
+        main(
+            [
+                "protect",
+                "--input", str(raw_csv),
+                "--mechanism", "speed-smoothing",
+                "--out", str(out),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["evaluate", "--raw", str(raw_csv), "--protected", str(out)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "hotspot F1" in output
+        assert "OD trip matrix" in output
+        assert "spatial distortion" in output
+
+
+class TestCampaign:
+    def test_campaign_runs_and_exports(self, tmp_path, capsys):
+        out = tmp_path / "collected.csv"
+        code = main(
+            [
+                "campaign",
+                "--users", "5",
+                "--days", "1",
+                "--period", "600",
+                "--incentive", "reward",
+                "--seed", "3",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "campaign:" in output
+        assert "acceptance" in output
+        collected = MobilityDataset.from_csv(out)
+        assert len(collected) >= 1
+
+    def test_lossy_campaign(self, capsys):
+        code = main(
+            ["campaign", "--users", "4", "--days", "1", "--loss", "0.2", "--seed", "2"]
+        )
+        assert code == 0
+        assert "transport loss" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_summary_printed(self, raw_csv, capsys):
+        code = main(["stats", "--input", str(raw_csv)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "users=6" in output
+        assert "rgyr=" in output
+
+    def test_geojson_export(self, raw_csv, tmp_path, capsys):
+        out = tmp_path / "traces.geojson"
+        code = main(["stats", "--input", str(raw_csv), "--geojson", str(out)])
+        assert code == 0
+        import json
+
+        loaded = json.loads(out.read_text())
+        assert len(loaded["features"]) == 6
+
+
+class TestPublish:
+    def test_successful_publication(self, raw_csv, tmp_path, capsys):
+        out = tmp_path / "published.csv"
+        code = main(
+            [
+                "publish",
+                "--input", str(raw_csv),
+                "--max-poi-recall", "0.3",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "chosen:" in output
+        published = MobilityDataset.from_csv(out)
+        assert all(user.startswith("pseudo-") for user in published.users)
+
+    def test_zero_bar_still_publishable_by_smoothing(self, raw_csv, tmp_path, capsys):
+        """Even a zero-recall bar is satisfiable on a small population —
+        coarse smoothing legitimately drives the attack to zero — so the
+        CLI must publish rather than fail."""
+        out = tmp_path / "published.csv"
+        code = main(
+            [
+                "publish",
+                "--input", str(raw_csv),
+                "--max-poi-recall", "0.0",
+                "--out", str(out),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "speed-smoothing" in output
+        assert out.exists()
+
+    def test_lenient_flag_always_publishes(self, raw_csv, tmp_path, capsys):
+        out = tmp_path / "published-lenient.csv"
+        code = main(
+            [
+                "publish",
+                "--input", str(raw_csv),
+                "--lenient",
+                "--max-poi-recall", "0.0",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()

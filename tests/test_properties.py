@@ -1,0 +1,195 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These exercise the library's core invariants on *generated* inputs, not
+the fixtures: random trajectories through the mechanism contract, random
+datasets through persistence, random values through the crypto stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import haversine_m
+from repro.geo.point import GeoPoint, Record
+from repro.geo.trajectory import Trajectory
+from repro.mobility.dataset import MobilityDataset
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    SpatialCloakingMechanism,
+    SpeedSmoothingMechanism,
+    TemporalDownsamplingMechanism,
+)
+
+# ----------------------------------------------------------------------
+# Random trajectory strategy: a bounded random walk near Bordeaux.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def trajectories(draw, min_records: int = 2, max_records: int = 60):
+    n = draw(st.integers(min_value=min_records, max_value=max_records))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    lat, lon = 44.8378, -0.5792
+    time = 0.0
+    records = []
+    for _ in range(n):
+        lat += float(rng.normal(0, 0.001))
+        lon += float(rng.normal(0, 0.001))
+        time += float(rng.uniform(10.0, 600.0))
+        records.append(Record(point=GeoPoint(lat, lon), time=time))
+    return Trajectory(user="prop", records=tuple(records))
+
+
+MECHANISM_FACTORIES = [
+    lambda: GeoIndistinguishabilityMechanism(0.01),
+    lambda: SpatialCloakingMechanism(300.0),
+    lambda: TemporalDownsamplingMechanism(600.0),
+    lambda: SpeedSmoothingMechanism(100.0),
+]
+
+
+class TestMechanismContractProperties:
+    @pytest.mark.parametrize("factory", MECHANISM_FACTORIES)
+    @given(trajectory=trajectories())
+    @settings(max_examples=25, deadline=None)
+    def test_output_is_valid_trajectory_or_none(self, factory, trajectory):
+        mechanism = factory()
+        result = mechanism.protect_trajectory(trajectory, np.random.default_rng(1))
+        if result is None:
+            return
+        # Construction succeeded => invariants (sorted, non-empty) hold.
+        assert result.user == trajectory.user
+        assert result.start_time >= trajectory.start_time - 1e-9
+        assert result.end_time <= trajectory.end_time + 1e-9
+
+    @pytest.mark.parametrize("factory", MECHANISM_FACTORIES)
+    @given(trajectory=trajectories())
+    @settings(max_examples=15, deadline=None)
+    def test_determinism_per_rng_state(self, factory, trajectory):
+        mechanism = factory()
+        a = mechanism.protect_trajectory(trajectory, np.random.default_rng(7))
+        b = mechanism.protect_trajectory(trajectory, np.random.default_rng(7))
+        if a is None or b is None:
+            assert a is None and b is None
+        else:
+            assert a.records == b.records
+
+
+class TestTrajectoryProperties:
+    @given(trajectory=trajectories(min_records=3))
+    @settings(max_examples=40, deadline=None)
+    def test_split_by_day_partitions_records(self, trajectory):
+        days = trajectory.split_by_day()
+        assert sum(len(d) for d in days) == len(trajectory)
+        flattened = [record for day in days for record in day]
+        assert tuple(flattened) == trajectory.records
+
+    @given(trajectory=trajectories(min_records=3), step=st.floats(100.0, 500.0))
+    @settings(max_examples=30, deadline=None)
+    def test_chord_resampling_spacing(self, trajectory, step):
+        points = trajectory.resample_chord(step)
+        for a, b in zip(points, points[1:]):
+            assert haversine_m(a, b) <= step * 1.02
+
+    @given(trajectory=trajectories(min_records=2))
+    @settings(max_examples=30, deadline=None)
+    def test_point_at_time_stays_in_bbox(self, trajectory):
+        box = trajectory.bounding_box
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            t = trajectory.start_time + fraction * trajectory.duration
+            point = trajectory.point_at_time(t)
+            assert box.expanded(1e-9).contains(point)
+
+    @given(trajectory=trajectories(min_records=2))
+    @settings(max_examples=30, deadline=None)
+    def test_length_at_least_endpoint_distance(self, trajectory):
+        direct = haversine_m(trajectory.points[0], trajectory.points[-1])
+        assert trajectory.length_m >= direct - 1e-6
+
+
+class TestCryptoPipelineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_paillier_secure_sum_roundtrip(self, values):
+        import random
+
+        from repro.crypto import (
+            DeviceContributor,
+            ObliviousAggregator,
+            QueryCoordinator,
+        )
+
+        coordinator = QueryCoordinator(key_bits=128, rng=random.Random(5))
+        query = coordinator.open_query("prop")
+        aggregator = ObliviousAggregator(query)
+        contributor = DeviceContributor(random.Random(6))
+        for value in values:
+            aggregator.accept(contributor.contribute_value(query, value))
+        total = coordinator.decrypt_sum(query, aggregator.scalar_result())
+        assert total == pytest.approx(sum(values), abs=0.001 * len(values))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+            min_size=2,
+            max_size=10,
+        ),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_resilient_masking_with_random_dropout(self, values, n_dropped):
+        import random
+
+        from repro.crypto import MaskingDealer
+        from repro.crypto.resilient_masking import ResilientAggregation
+
+        n = len(values)
+        n_dropped = min(n_dropped, n - 1)
+        threshold = max(1, (n - n_dropped) // 2)
+        participants = MaskingDealer(n, threshold, rng=random.Random(3)).deal()
+        dropped = set(range(n_dropped))
+        aggregation = ResilientAggregation(n, threshold)
+        for participant in participants:
+            if participant.index in dropped:
+                continue
+            aggregation.accept(
+                participant.index,
+                participant.masked_value(values[participant.index]),
+            )
+        survivors = {p.index: p for p in participants if p.index not in dropped}
+        total = aggregation.recover_and_sum(survivors)
+        expected = sum(v for i, v in enumerate(values) if i not in dropped)
+        assert total == pytest.approx(expected, abs=0.01)
+
+
+class TestDatasetProperties:
+    @given(trajectory=trajectories(min_records=2))
+    @settings(max_examples=20, deadline=None)
+    def test_csv_roundtrip(self, trajectory, tmp_path_factory):
+        dataset = MobilityDataset([trajectory])
+        path = tmp_path_factory.mktemp("prop") / "d.csv"
+        dataset.to_csv(path)
+        loaded = MobilityDataset.from_csv(path)
+        assert loaded.n_records == dataset.n_records
+        for a, b in zip(loaded.get("prop"), dataset.get("prop")):
+            assert a.time == pytest.approx(b.time, abs=2e-3)
+            assert haversine_m(a.point, b.point) < 0.05
+
+    @given(trajectory=trajectories(min_records=2))
+    @settings(max_examples=20, deadline=None)
+    def test_pseudonymization_preserves_content(self, trajectory):
+        dataset = MobilityDataset([trajectory])
+        pseudo, mapping = dataset.pseudonymized()
+        (pseudonym,) = pseudo.users
+        assert mapping[pseudonym] == "prop"
+        assert pseudo.get(pseudonym).records == trajectory.records

@@ -1,0 +1,73 @@
+"""Meta-tests over the public API surface.
+
+Guards the documentation contract: every public module and every name a
+package exports must exist, import cleanly, and carry a docstring.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_PACKAGES = [
+    "repro",
+    "repro.geo",
+    "repro.mobility",
+    "repro.privacy",
+    "repro.privacy.mechanisms",
+    "repro.privacy.attacks",
+    "repro.utility",
+    "repro.crypto",
+    "repro.simulation",
+    "repro.apisense",
+    "repro.core",
+]
+
+
+def _walk_modules() -> list[str]:
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+ALL_MODULES = _walk_modules()
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_every_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_every_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+        assert len(module.__doc__.strip()) > 20
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        assert exported, f"{package_name} exports nothing"
+        for name in exported:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+    def test_exported_classes_have_docstrings(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if isinstance(obj, type) or callable(obj):
+                assert obj.__doc__, f"{package_name}.{name} lacks a docstring"
+
+
+class TestVersion:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,39 @@
+"""Unit tests for time/distance helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_time_ladder(self):
+        assert units.MINUTE == 60 * units.SECOND
+        assert units.HOUR == 60 * units.MINUTE
+        assert units.DAY == 24 * units.HOUR
+
+    def test_distance_ladder(self):
+        assert units.KILOMETRE == 1000 * units.METRE
+
+
+class TestKmh:
+    def test_conversion(self):
+        assert units.kmh(36.0) == pytest.approx(10.0)
+
+    def test_zero(self):
+        assert units.kmh(0.0) == 0.0
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (42, "42s"),
+            (0, "0s"),
+            (90, "1m30s"),
+            (3600, "1h00m"),
+            (7500, "2h05m"),
+            (86400, "24h00m"),
+        ],
+    )
+    def test_cases(self, seconds, expected):
+        assert units.format_duration(seconds) == expected

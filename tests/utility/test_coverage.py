@@ -1,0 +1,52 @@
+"""Unit tests for coverage measures."""
+
+import pytest
+
+from repro.geo.grid import SpatialGrid
+from repro.mobility.dataset import MobilityDataset
+from repro.privacy.mechanisms import TemporalDownsamplingMechanism
+from repro.utility.coverage import area_coverage, record_rate, temporal_coverage
+
+
+class TestAreaCoverage:
+    def test_bounds(self, medium_population):
+        grid = SpatialGrid(medium_population.city.bounding_box, cell_size_m=500.0)
+        coverage = area_coverage(medium_population.dataset, grid)
+        assert 0.0 < coverage < 1.0
+
+    def test_empty_dataset(self, medium_population):
+        grid = SpatialGrid(medium_population.city.bounding_box, cell_size_m=500.0)
+        assert area_coverage(MobilityDataset([]), grid) == 0.0
+
+    def test_coarser_grid_higher_coverage(self, medium_population):
+        fine = SpatialGrid(medium_population.city.bounding_box, cell_size_m=200.0)
+        coarse = SpatialGrid(medium_population.city.bounding_box, cell_size_m=1000.0)
+        assert area_coverage(medium_population.dataset, coarse) > area_coverage(
+            medium_population.dataset, fine
+        )
+
+
+class TestTemporalCoverage:
+    def test_continuous_sampling_full(self, medium_population):
+        assert temporal_coverage(medium_population.dataset, window=3600.0) == pytest.approx(
+            1.0, abs=0.02
+        )
+
+    def test_empty(self):
+        assert temporal_coverage(MobilityDataset([])) == 0.0
+
+
+class TestRecordRate:
+    def test_matches_sampling_period(self, medium_population):
+        # 120 s sampling with 3% dropout -> ~29 records per user-hour.
+        rate = record_rate(medium_population.dataset)
+        assert rate == pytest.approx(3600.0 / 120.0 * 0.97, rel=0.05)
+
+    def test_downsampling_reduces_rate(self, medium_population):
+        thinned = TemporalDownsamplingMechanism(window=600.0).protect(
+            medium_population.dataset, seed=1
+        )
+        assert record_rate(thinned) < record_rate(medium_population.dataset) / 3
+
+    def test_empty(self):
+        assert record_rate(MobilityDataset([])) == 0.0

@@ -1,0 +1,140 @@
+"""Unit tests for presence/footfall density and hotspot agreement."""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import SpatialGrid
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    IdentityMechanism,
+    SpeedSmoothingMechanism,
+)
+from repro.utility.heatmap import (
+    DensityGrid,
+    density_similarity,
+    footfall_density,
+    hotspot_f1,
+    presence_density,
+)
+
+
+@pytest.fixture(scope="module")
+def grid(medium_population) -> SpatialGrid:
+    return SpatialGrid(medium_population.city.bounding_box, cell_size_m=500.0)
+
+
+class TestDensityGrid:
+    def test_top_cells_ordering(self):
+        counts = np.zeros((3, 3))
+        counts[1, 1] = 10
+        counts[0, 2] = 5
+        counts[2, 0] = 1
+        grid = SpatialGrid.__new__(SpatialGrid)  # structural stand-in unused
+        density = DensityGrid(grid=grid, counts=counts)
+        assert density.top_cells(2) == {(1, 1), (0, 2)}
+
+    def test_top_cells_excludes_zeros(self):
+        counts = np.zeros((2, 2))
+        counts[0, 0] = 3
+        density = DensityGrid(grid=None, counts=counts)  # type: ignore[arg-type]
+        assert density.top_cells(4) == {(0, 0)}
+
+    def test_top_cells_zero_k(self):
+        density = DensityGrid(grid=None, counts=np.ones((2, 2)))  # type: ignore[arg-type]
+        assert density.top_cells(0) == set()
+
+    def test_normalized_sums_to_one(self):
+        density = DensityGrid(grid=None, counts=np.array([[1.0, 3.0]]))  # type: ignore[arg-type]
+        assert density.normalized().sum() == pytest.approx(1.0)
+
+    def test_normalized_empty(self):
+        density = DensityGrid(grid=None, counts=np.zeros((2, 2)))  # type: ignore[arg-type]
+        assert density.normalized().sum() == 0.0
+
+
+class TestPresenceDensity:
+    def test_total_mass_scales_with_time(self, medium_population, grid):
+        density = presence_density(medium_population.dataset, grid, time_step=600.0)
+        total_user_seconds = sum(
+            t.duration for t in medium_population.dataset
+        )
+        assert density.counts.sum() == pytest.approx(
+            total_user_seconds / 600.0, rel=0.02
+        )
+
+    def test_hotspots_at_anchor_places(self, medium_population, grid):
+        density = presence_density(medium_population.dataset, grid, time_step=600.0)
+        hotspots = density.top_cells(20)
+        homes = {grid.cell_of(p.home) for p in medium_population.profiles.values()}
+        # Most users' home cells are among the presence hotspots.
+        assert len(hotspots & homes) >= min(len(homes), 5)
+
+
+class TestFootfall:
+    def test_counts_distinct_users(self, medium_population, grid):
+        density = footfall_density(medium_population.dataset, grid, time_step=120.0)
+        assert density.counts.max() <= len(medium_population.dataset)
+
+    def test_identity_perfect_f1(self, medium_population, grid):
+        raw = footfall_density(medium_population.dataset, grid, time_step=120.0)
+        same = footfall_density(
+            IdentityMechanism().protect(medium_population.dataset), grid, time_step=120.0
+        )
+        assert hotspot_f1(raw, same, k=15) == 1.0
+
+    def test_smoothing_retains_footfall(self, medium_population, grid):
+        raw = footfall_density(medium_population.dataset, grid, time_step=120.0)
+        protected = SpeedSmoothingMechanism(100.0).protect(
+            medium_population.dataset, seed=1
+        )
+        smoothed = footfall_density(protected, grid, time_step=120.0)
+        assert hotspot_f1(raw, smoothed, k=15) >= 0.5
+
+    def test_heavy_noise_destroys_footfall(self, medium_population, grid):
+        raw = footfall_density(medium_population.dataset, grid, time_step=120.0)
+        noisy = GeoIndistinguishabilityMechanism(epsilon=0.001).protect(
+            medium_population.dataset, seed=1
+        )
+        noisy_density = footfall_density(noisy, grid, time_step=120.0)
+        smoothed = footfall_density(
+            SpeedSmoothingMechanism(100.0).protect(medium_population.dataset, seed=1),
+            grid,
+            time_step=120.0,
+        )
+        assert hotspot_f1(raw, noisy_density, k=15) < hotspot_f1(raw, smoothed, k=15)
+
+
+class TestHotspotF1:
+    def _density(self, hot_cells, shape=(4, 4)):
+        counts = np.zeros(shape)
+        for cell in hot_cells:
+            counts[cell] = 10.0
+        return DensityGrid(grid=None, counts=counts)  # type: ignore[arg-type]
+
+    def test_disjoint_is_zero(self):
+        a = self._density([(0, 0), (1, 1)])
+        b = self._density([(2, 2), (3, 3)])
+        assert hotspot_f1(a, b, k=2) == 0.0
+
+    def test_identical_is_one(self):
+        a = self._density([(0, 0), (1, 1)])
+        assert hotspot_f1(a, a, k=2) == 1.0
+
+    def test_both_empty_is_one(self):
+        empty = self._density([])
+        assert hotspot_f1(empty, empty, k=3) == 1.0
+
+    def test_one_empty_is_zero(self):
+        a = self._density([(0, 0)])
+        empty = self._density([])
+        assert hotspot_f1(a, empty, k=1) == 0.0
+
+
+class TestDensitySimilarity:
+    def test_self_similarity(self, medium_population, grid):
+        density = footfall_density(medium_population.dataset, grid, time_step=300.0)
+        assert density_similarity(density, density) == pytest.approx(1.0)
+
+    def test_empty_similarity(self):
+        empty = DensityGrid(grid=None, counts=np.zeros((2, 2)))  # type: ignore[arg-type]
+        assert density_similarity(empty, empty) == 0.0

@@ -1,0 +1,53 @@
+"""Unit tests for the consolidated utility report."""
+
+import pytest
+
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    IdentityMechanism,
+    SpeedSmoothingMechanism,
+)
+from repro.utility.release_report import evaluate_release
+
+
+class TestIdentityBaseline:
+    def test_identity_scores_perfect(self, medium_population):
+        protected = IdentityMechanism().protect(medium_population.dataset)
+        report = evaluate_release(medium_population.dataset, protected)
+        assert report.hotspot_f1 == 1.0
+        assert report.footfall_cosine == pytest.approx(1.0)
+        assert report.transit_flow_correlation == pytest.approx(1.0)
+        assert report.od_similarity == pytest.approx(1.0)
+        assert report.spatial_distortion_m < 1.0
+        assert report.suppression == 0.0
+        assert report.record_rate_ratio == pytest.approx(1.0)
+
+    def test_to_text_complete(self, medium_population):
+        protected = IdentityMechanism().protect(medium_population.dataset)
+        report = evaluate_release(medium_population.dataset, protected)
+        text = report.to_text()
+        for label in ("crowded places", "OD trip matrix", "spatial distortion",
+                      "record rate"):
+            assert label in text
+
+
+class TestMechanismProfiles:
+    def test_smoothing_profile(self, medium_population):
+        """Smoothing: shape metrics high, OD zero (coarse step), rate low."""
+        protected = SpeedSmoothingMechanism(250.0).protect(
+            medium_population.dataset, seed=1
+        )
+        report = evaluate_release(medium_population.dataset, protected)
+        assert report.hotspot_f1 >= 0.4
+        assert report.od_similarity == 0.0
+        assert report.record_rate_ratio < 0.2
+
+    def test_noise_profile(self, medium_population):
+        """Mild noise: everything roughly intact, distortion = 2/eps."""
+        protected = GeoIndistinguishabilityMechanism(0.05).protect(
+            medium_population.dataset, seed=1
+        )
+        report = evaluate_release(medium_population.dataset, protected)
+        assert report.spatial_distortion_m == pytest.approx(40.0, rel=0.2)
+        assert report.record_rate_ratio == pytest.approx(1.0)
+        assert report.od_similarity >= 0.5

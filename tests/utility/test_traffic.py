@@ -1,0 +1,143 @@
+"""Unit tests for traffic matrices, flows and the seasonal predictor."""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import SpatialGrid
+from repro.privacy.mechanisms import (
+    GeoIndistinguishabilityMechanism,
+    IdentityMechanism,
+    SpeedSmoothingMechanism,
+)
+from repro.utility.traffic import (
+    TrafficModel,
+    _spearman,
+    flow_correlation,
+    seasonal_naive_error,
+    traffic_matrix,
+    transit_counts,
+)
+from repro.units import DAY
+
+
+@pytest.fixture(scope="module")
+def grid(medium_population) -> SpatialGrid:
+    return SpatialGrid(medium_population.city.bounding_box, cell_size_m=500.0)
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _spearman(a, a * 10.0) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _spearman(a, -a) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        a = np.array([1.0, 1.0, 2.0, 3.0])
+        b = np.array([1.0, 1.0, 2.0, 3.0])
+        assert _spearman(a, b) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(8)
+        a = rng.normal(size=50)
+        b = 0.5 * a + rng.normal(size=50)
+        ours = _spearman(a, b)
+        scipys = spearmanr(a, b).statistic
+        assert ours == pytest.approx(scipys, abs=1e-9)
+
+    def test_constant_input(self):
+        a = np.ones(5)
+        assert _spearman(a, np.arange(5.0)) == 0.0
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            _spearman(np.ones(3), np.ones(4))
+
+
+class TestTrafficMatrix:
+    def test_shape(self, medium_population, grid):
+        matrix = traffic_matrix(
+            medium_population.dataset, grid, window=1800.0, time_step=600.0
+        )
+        assert matrix.shape[0] == grid.n_cells
+        assert matrix.shape[1] == pytest.approx(6 * DAY / 1800.0, abs=2)
+
+    def test_mass_conservation(self, medium_population, grid):
+        matrix = traffic_matrix(
+            medium_population.dataset, grid, window=1800.0, time_step=600.0
+        )
+        expected = sum(t.duration for t in medium_population.dataset) / 600.0
+        assert matrix.sum() == pytest.approx(expected, rel=0.02)
+
+
+class TestTransitCounts:
+    def test_shape_and_nonnegative(self, medium_population, grid):
+        counts = transit_counts(medium_population.dataset, grid, time_step=120.0)
+        assert counts.shape == (grid.n_cells,)
+        assert (counts >= 0).all()
+
+    def test_moving_users_enter_many_cells(self, medium_population, grid):
+        counts = transit_counts(medium_population.dataset, grid, time_step=120.0)
+        assert counts.sum() > len(medium_population.dataset) * 10
+
+
+class TestFlowCorrelation:
+    def test_identity_correlation_one(self, medium_population, grid):
+        raw = transit_counts(medium_population.dataset, grid, 120.0).reshape(-1, 1)
+        same = transit_counts(
+            IdentityMechanism().protect(medium_population.dataset), grid, 120.0
+        ).reshape(-1, 1)
+        assert flow_correlation(raw, same) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            flow_correlation(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_smoothing_beats_heavy_noise(self, medium_population, grid):
+        raw = transit_counts(medium_population.dataset, grid, 120.0).reshape(-1, 1)
+        smoothed = transit_counts(
+            SpeedSmoothingMechanism(100.0).protect(medium_population.dataset, seed=1),
+            grid,
+            120.0,
+        ).reshape(-1, 1)
+        noisy = transit_counts(
+            GeoIndistinguishabilityMechanism(0.001).protect(
+                medium_population.dataset, seed=1
+            ),
+            grid,
+            120.0,
+        ).reshape(-1, 1)
+        assert flow_correlation(raw, smoothed) > flow_correlation(raw, noisy)
+
+
+class TestTrafficModel:
+    def test_fit_shape(self, medium_population, grid):
+        matrix = traffic_matrix(medium_population.dataset, grid, 1800.0, 600.0)
+        model = TrafficModel.fit(matrix, window=1800.0)
+        assert model.windows_per_day == 48
+        assert model.profile.shape == (grid.n_cells, 48)
+
+    def test_periodic_signal_learned_exactly(self):
+        # Two identical days: the seasonal profile equals one day.
+        day = np.arange(48.0).reshape(1, -1)
+        matrix = np.concatenate([day, day], axis=1)
+        model = TrafficModel.fit(matrix, window=1800.0)
+        assert np.allclose(model.predict_day(), day)
+
+    def test_seasonal_naive_error_zero_for_identity(self, medium_population, grid):
+        matrix = traffic_matrix(medium_population.dataset, grid, 1800.0, 600.0)
+        assert seasonal_naive_error(matrix, matrix, window=1800.0) == pytest.approx(0.0)
+
+    def test_seasonal_naive_error_positive_for_noise(self, medium_population, grid):
+        matrix = traffic_matrix(medium_population.dataset, grid, 1800.0, 600.0)
+        noisy_dataset = GeoIndistinguishabilityMechanism(0.002).protect(
+            medium_population.dataset, seed=1
+        )
+        noisy = traffic_matrix(noisy_dataset, grid, 1800.0, 600.0)
+        width = min(matrix.shape[1], noisy.shape[1])
+        error = seasonal_naive_error(noisy[:, :width], matrix[:, :width], window=1800.0)
+        assert error > 0.1
