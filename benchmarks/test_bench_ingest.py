@@ -1,0 +1,93 @@
+"""Ingestion pipeline throughput: sustained records/sec vs shard count.
+
+The store subsystem exists so the Hive can absorb continuous uploads at
+fleet scale; this bench pushes a fixed upload workload through the
+IngestPipeline -> DatasetStore path at 1, 4, and 16 shards and reports
+the sustained ingest rate.  Sharding bounds per-partition segment sizes
+and spreads buffer pressure; the rate should stay in the same order of
+magnitude across shard counts (the per-record work is constant) while
+flush batches shrink as shards multiply.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from repro.apisense.device import SensorRecord
+from repro.geo.point import GeoPoint
+from repro.simulation import Simulator
+from repro.store import DatasetStore, IngestPipeline
+
+N_USERS = 40
+UPLOADS_PER_USER = 25
+RECORDS_PER_UPLOAD = 24
+N_RECORDS = N_USERS * UPLOADS_PER_USER * RECORDS_PER_UPLOAD
+
+
+@pytest.fixture(scope="module")
+def upload_batches() -> list[list[SensorRecord]]:
+    """One synthetic campaign's worth of upload batches, in arrival order."""
+    batches = []
+    for tick in range(UPLOADS_PER_USER):
+        for u in range(N_USERS):
+            user = f"user-{u:03d}"
+            base = tick * 1800.0
+            batches.append(
+                [
+                    SensorRecord(
+                        device_id=f"dev-{u:03d}",
+                        user=user,
+                        task="ingest-bench",
+                        time=base + 60.0 * i,
+                        values={
+                            "gps": GeoPoint(
+                                44.8 + 0.0004 * ((u * 7 + i) % 100),
+                                -0.6 + 0.0004 * ((u * 13 + i) % 100),
+                            ),
+                            "battery": 1.0 - 0.001 * i,
+                        },
+                    )
+                    for i in range(RECORDS_PER_UPLOAD)
+                ]
+            )
+    return batches
+
+
+def run_ingest(batches: list[list[SensorRecord]], n_shards: int) -> DatasetStore:
+    sim = Simulator()
+    store = DatasetStore(n_shards=n_shards, segment_capacity=2048)
+    pipeline = IngestPipeline(
+        sim, store, policy="spill", buffer_capacity=4096, flush_delay=0.2
+    )
+    now = 0.0
+    for batch in batches:
+        now = max(now, batch[0].time)
+        sim.run_until(now)
+        pipeline.submit(batch)
+    sim.run()
+    pipeline.flush_all()
+    return store
+
+
+@pytest.mark.benchmark(group="ingest")
+@pytest.mark.parametrize("n_shards", [1, 4, 16])
+def test_bench_ingest_records_per_sec(benchmark, upload_batches, n_shards):
+    store = benchmark.pedantic(
+        lambda: run_ingest(upload_batches, n_shards), iterations=1, rounds=3
+    )
+    assert store.n_records == N_RECORDS
+    assert store.aggregate("ingest-bench").records == N_RECORDS
+    mean_s = benchmark.stats.stats.mean
+    stats = store.stats()
+    record_rows(
+        benchmark,
+        [
+            {
+                "shards": n_shards,
+                "records": N_RECORDS,
+                "records_per_sec": int(N_RECORDS / mean_s),
+                "segments": stats.segments,
+                "users": stats.users,
+            }
+        ],
+        claim="pipeline sustains ingest across shard counts",
+    )

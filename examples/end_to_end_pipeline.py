@@ -70,6 +70,20 @@ def main() -> None:
         f"{users[0]!r} opted out as intended: {users[0] not in collected})"
     )
 
+    # What the server side did with those uploads: every batch went
+    # through the ingest pipeline into the sharded columnar store, and
+    # the aggregates were maintained incrementally at flush time.
+    store = campaign.hive.store
+    pipeline = campaign.hive.pipeline
+    print("\n" + store.stats().to_text())
+    print(
+        f"pipeline: {pipeline.stats.flushes} flushes, "
+        f"mean batch {pipeline.stats.mean_flush_batch:.1f} records, "
+        f"largest {pipeline.stats.largest_flush} "
+        f"({pipeline.stats.loss} shed by backpressure)"
+    )
+    print(honeycomb.aggregate("mobility-study").to_text())
+
     # ---------------------------------------------------------------- #
     # 3. PRIVAPI publication
     # ---------------------------------------------------------------- #

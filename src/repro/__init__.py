@@ -13,7 +13,8 @@ Supporting substrates: :mod:`repro.geo` (geodesy), :mod:`repro.mobility`
 (synthetic workloads with ground truth), :mod:`repro.privacy`
 (mechanisms, attacks, metrics), :mod:`repro.utility` (analyst tasks),
 :mod:`repro.crypto` (secure aggregation), :mod:`repro.simulation`
-(deterministic event loop).
+(deterministic event loop), :mod:`repro.store` (sharded ingestion
+pipeline + columnar dataset store behind the Hive).
 
 Quickstart::
 

@@ -176,9 +176,13 @@ class Campaign:
             )
             day += 1.0
         # Drain in-flight routing: the last uploads' Honeycomb deliveries
-        # are scheduled one latency hop after the final day boundary.
+        # are scheduled one latency hop after the final day boundary, and
+        # a deep spill backlog may need more flush rounds than the time
+        # window allows — flush_all() guarantees nothing stays stranded
+        # in the ingest pipeline.
         self._run_days = n_days
         self.sim.run_until(n_days * DAY + 2.0 * self.config.delivery_latency + 1.0)
+        self.hive.pipeline.flush_all()
         final_total = sum(
             stats.records for stats in self.hive.stats.per_task.values()
         )

@@ -56,6 +56,9 @@ class TaskRuntimeStats:
     samples_battery_refused: int = 0
     uploads: int = 0
     uploads_failed: int = 0
+    #: Uploads shed whole by the Hive's ingest gateway (backpressure);
+    #: the batch is re-buffered and retried like a lost upload.
+    uploads_rejected: int = 0
 
 
 class MobileDevice:
@@ -224,12 +227,11 @@ class MobileDevice:
         if self._transport is None:
             buffer.clear()
             stats.uploads += 1
-            self._hive.receive_upload(self.device_id, self.user, task_name, batch)
+            self._deliver_upload(task_name, batch)
             return
-        hive = self._hive
         delivered = self._transport.send(
             self._sim,
-            lambda: hive.receive_upload(self.device_id, self.user, task_name, batch),
+            lambda: self._deliver_upload(task_name, batch),
             payload_items=len(batch),
         )
         if delivered:
@@ -237,6 +239,26 @@ class MobileDevice:
             stats.uploads += 1
         else:
             stats.uploads_failed += 1
+
+    def _deliver_upload(self, task_name: str, batch: list[SensorRecord]) -> None:
+        """Hand a delivered batch to the Hive's ingest gateway.
+
+        A gateway that sheds the whole batch (``reject`` backpressure)
+        is the server-side analogue of a lost upload: the records go
+        back to the front of the buffer and ride the next upload tick,
+        so backpressure costs freshness, not data.
+        """
+        assert self._hive is not None
+        accepted = self._hive.receive_upload(
+            self.device_id, self.user, task_name, batch
+        )
+        if accepted == 0 and batch:
+            stats = self.stats.get(task_name)
+            if stats is not None:
+                stats.uploads_rejected += 1
+            buffer = self._buffers.get(task_name)
+            if buffer is not None:
+                buffer[0:0] = batch
 
     # ------------------------------------------------------------------
     # Direct reads (virtual sensors)

@@ -22,6 +22,7 @@ from repro.apisense.incentives import (
 from repro.apisense.tasks import SensingTask
 from repro.errors import PlatformError
 from repro.simulation import Simulator
+from repro.store import DatasetStore, IngestPipeline
 
 from typing import TYPE_CHECKING
 
@@ -64,6 +65,8 @@ class Hive:
         incentive: IncentiveStrategy | None = None,
         delivery_latency: float = 0.2,
         transport: "Transport | None" = None,
+        store: DatasetStore | None = None,
+        pipeline: IngestPipeline | None = None,
         seed: int = 0,
     ):
         from repro.apisense.transport import Transport
@@ -78,6 +81,22 @@ class Hive:
             loss=0.0,
             seed=seed,
         )
+        #: Server-side storage: uploads batch through the ingest pipeline
+        #: into the columnar store, and Honeycomb routing happens at
+        #: pipeline flush time (see :meth:`_route_flush`).
+        if pipeline is not None:
+            if store is not None and pipeline.store is not store:
+                raise PlatformError("pipeline is bound to a different store")
+            self.store = pipeline.store
+            self.pipeline = pipeline
+        else:
+            self.store = store or DatasetStore()
+            self.pipeline = IngestPipeline(
+                sim, self.store, flush_delay=delivery_latency
+            )
+        # Exclusive: a pipeline routes to exactly one Hive (sharing one
+        # would double-deliver every flush to the owning Honeycombs).
+        self.pipeline.set_router(self._route_flush)
         self._rng = np.random.default_rng(seed)
         self._devices: dict[str, MobileDevice] = {}
         self.community: dict[str, UserState] = {}
@@ -162,25 +181,55 @@ class Hive:
 
     def receive_upload(
         self, device_id: str, user: str, task_name: str, records: list[SensorRecord]
-    ) -> None:
-        """Accept an upload batch and route it to the owning Honeycomb."""
+    ) -> int:
+        """Accept an upload batch into the ingest pipeline.
+
+        The batch lands in the pipeline's shard buffer for this (task,
+        user) pair; the pipeline's next flush appends it to the columnar
+        store and routes it onward to the owning Honeycomb (uploads that
+        coalesce into the same flush window arrive as one batch).
+
+        Records the ingest gateway sheds (``reject`` backpressure) are
+        neither counted nor rewarded — only admitted records enter the
+        platform statistics and the incentive engine.  Returns the
+        number of records accepted.
+        """
         if task_name not in self._tasks:
             raise PlatformError(f"upload for unknown task {task_name!r}")
         stats = self.stats.per_task[task_name]
         stats.uploads += 1
-        stats.records += len(records)
-        if stats.first_record_time is None and records:
-            stats.first_record_time = min(r.time for r in records)
         self.stats.messages_sent += 1
 
-        state = self.community[user]
-        self.incentive.on_contribution(state, len(records))
+        accepted = self.pipeline.submit(records) if records else 0
+        stats.records += accepted
+        if stats.first_record_time is None and accepted == len(records) and records:
+            # Only a fully-admitted batch pins the time: under partial
+            # admission (drop-oldest) the shed records' times are unknown
+            # here and must not be recorded as collected.
+            stats.first_record_time = min(r.time for r in records)
 
-        owner = self._task_owner[task_name]
-        self._sim.schedule(
-            self.delivery_latency,
-            lambda: owner.receive_dataset(task_name, records),
-        )
+        state = self.community[user]
+        self.incentive.on_contribution(state, accepted)
+        return accepted
+
+    #: Alias matching the paper-facing name for the upload path.
+    route_upload = receive_upload
+
+    def _route_flush(self, records: list[SensorRecord]) -> None:
+        """Deliver one pipeline flush to the owning Honeycombs.
+
+        Fires as a pipeline flush listener: the flushed shard batch is
+        split per task and handed to each task's owner, so Honeycomb
+        datasets and hooks are driven by store flushes, not by raw
+        uploads.
+        """
+        by_task: dict[str, list[SensorRecord]] = {}
+        for record in records:
+            by_task.setdefault(record.task, []).append(record)
+        for task_name, batch in by_task.items():
+            owner = self._task_owner.get(task_name)
+            if owner is not None:
+                owner.receive_dataset(task_name, batch)
 
     # ------------------------------------------------------------------
     # Daily bookkeeping

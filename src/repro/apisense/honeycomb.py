@@ -99,6 +99,37 @@ class Honeycomb:
             raise PlatformError(f"unknown task {task_name!r}")
         return list(self._records[task_name])
 
+    def dataset_view(
+        self,
+        task_name: str,
+        t0: float | None = None,
+        t1: float | None = None,
+        bbox=None,
+        user: str | None = None,
+    ):
+        """Columnar scan of a task's data from the Hive's dataset store.
+
+        This is the scalable read path: numpy ``time/lat/lon/value/user``
+        arrays straight from the store's segments, with optional
+        time-range / bbox / per-user filters (see
+        :meth:`repro.store.DatasetStore.scan`).  In a federation it
+        covers the home Hive's store only; :meth:`records` remains the
+        cross-community record list.
+        """
+        if task_name not in self._tasks:
+            raise PlatformError(f"unknown task {task_name!r}")
+        return self._hive.store.scan(task_name, t0=t0, t1=t1, bbox=bbox, user=user)
+
+    def aggregate(self, task_name: str):
+        """The store's streaming aggregate view of a task.
+
+        Returns ``None`` until the first flush lands (the view is
+        created with the task's first stored batch).
+        """
+        if task_name not in self._tasks:
+            raise PlatformError(f"unknown task {task_name!r}")
+        return self._hive.store.aggregates.get(task_name)
+
     def n_records(self, task_name: str) -> int:
         return len(self._records.get(task_name, []))
 

@@ -44,6 +44,17 @@ class PlatformHealthReport:
     at_risk_users: int
     transport_loss_rate: float
     messages_sent: int
+    #: Server-side storage health (the repro.store subsystem).
+    store_records: int = 0
+    store_segments: int = 0
+    store_shards: int = 0
+    pipeline_flushes: int = 0
+    pipeline_buffered: int = 0
+    pipeline_backlog: int = 0
+    pipeline_dropped: int = 0
+    pipeline_rejected: int = 0
+    mean_flush_batch: float = 0.0
+    ingest_lag_p95: float = 0.0
     tasks: tuple[TaskHealth, ...] = field(default_factory=tuple)
 
     def to_text(self) -> str:
@@ -56,6 +67,13 @@ class PlatformHealthReport:
             f"({self.at_risk_users} users at churn risk)",
             f"  transport: {self.messages_sent} messages, "
             f"{self.transport_loss_rate:.1%} loss",
+            f"  store: {self.store_records} records in {self.store_segments} "
+            f"segments / {self.store_shards} shards",
+            f"  ingest: {self.pipeline_flushes} flushes "
+            f"(mean batch {self.mean_flush_batch:.1f}), "
+            f"{self.pipeline_buffered} buffered, {self.pipeline_backlog} spilled, "
+            f"{self.pipeline_dropped} dropped, {self.pipeline_rejected} rejected, "
+            f"lag p95 {self.ingest_lag_p95:.1f}s",
         ]
         for task in self.tasks:
             lines.append(
@@ -79,6 +97,12 @@ def snapshot(hive: Hive, time: float, low_battery: float = 0.2, at_risk: float =
         )
         for name, stats in hive.stats.per_task.items()
     )
+    store_stats = hive.store.stats()
+    pipeline = hive.pipeline
+    lag_p95 = max(
+        (hive.store.aggregates.task(name).lag_p95 for name in hive.store.aggregates.tasks),
+        default=0.0,
+    )
     return PlatformHealthReport(
         time=time,
         devices=len(hive.devices),
@@ -89,5 +113,15 @@ def snapshot(hive: Hive, time: float, low_battery: float = 0.2, at_risk: float =
         at_risk_users=sum(1 for motivation in motivations if motivation < at_risk),
         transport_loss_rate=hive.transport.stats.loss_rate,
         messages_sent=hive.stats.messages_sent,
+        store_records=store_stats.records,
+        store_segments=store_stats.segments,
+        store_shards=store_stats.n_shards,
+        pipeline_flushes=pipeline.stats.flushes,
+        pipeline_buffered=pipeline.buffered,
+        pipeline_backlog=pipeline.backlog,
+        pipeline_dropped=pipeline.stats.dropped,
+        pipeline_rejected=pipeline.stats.rejected,
+        mean_flush_batch=pipeline.stats.mean_flush_batch,
+        ingest_lag_p95=lag_p95,
         tasks=tasks,
     )

@@ -46,3 +46,7 @@ class TaskValidationError(PlatformError):
 
 class PrivacyRequirementError(ReproError):
     """PRIVAPI could not satisfy the requested privacy/utility constraints."""
+
+
+class StoreError(ReproError):
+    """Dataset store / ingestion pipeline misuse (bad shard, policy...)."""

@@ -1,0 +1,99 @@
+"""Streaming quantile estimation (the P-square algorithm).
+
+The store's freshness aggregates need ingest-lag percentiles over an
+unbounded stream without keeping the samples.  Jain & Chlamtac's P²
+algorithm (CACM 1985) tracks one quantile with five markers in O(1)
+memory and O(1) per observation — exactly the budget a per-flush update
+path can afford.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import StoreError
+
+
+class P2Quantile:
+    """One streaming quantile estimator (P² algorithm, five markers)."""
+
+    def __init__(self, p: float):
+        if not (0.0 < p < 1.0):
+            raise StoreError(f"quantile must be in (0, 1): {p}")
+        self.p = p
+        self._count = 0
+        # Marker heights, integer positions, and desired positions; live
+        # only once the first five observations have been absorbed.
+        self._q: list[float] = []
+        self._n: list[float] = [0.0] * 5
+        self._np: list[float] = [0.0] * 5
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, x: float) -> None:
+        """Absorb one observation."""
+        x = float(x)
+        self._count += 1
+        if self._count <= 5:
+            self._q.append(x)
+            self._q.sort()
+            if self._count == 5:
+                self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._np = [1.0, 1.0 + 4.0 * self._dn[1], 1.0 + 4.0 * self._dn[2],
+                            1.0 + 4.0 * self._dn[3], 5.0]
+            return
+
+        q, n = self._q, self._n
+        # 1. Find the cell containing x, clamping the extreme markers.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        # 2. Shift marker positions above the cell.
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._np[i] += self._dn[i]
+        # 3. Nudge interior markers toward their desired positions.
+        for i in range(1, 4):
+            d = self._np[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (d <= -1.0 and n[i - 1] - n[i] < -1.0):
+                d = math.copysign(1.0, d)
+                candidate = self._parabolic(i, d)
+                if not (q[i - 1] < candidate < q[i + 1]):
+                    candidate = self._linear(i, d)
+                q[i] = candidate
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate (NaN before any observation)."""
+        if self._count == 0:
+            return float("nan")
+        if self._count <= 5:
+            # Exact from the sorted sample: nearest-rank interpolation.
+            rank = self.p * (self._count - 1)
+            lo = int(math.floor(rank))
+            hi = min(lo + 1, self._count - 1)
+            frac = rank - lo
+            return self._q[lo] * (1.0 - frac) + self._q[hi] * frac
+        return self._q[2]

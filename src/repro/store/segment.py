@@ -1,0 +1,207 @@
+"""Columnar segments: the append-only storage unit of the dataset store.
+
+A segment holds five parallel numpy arrays — ``time``, ``lat``, ``lon``,
+``value``, ``user_id`` — for one (shard, task) partition.  Open segments
+(:class:`SegmentBuilder`) absorb flush batches with amortized O(1)
+appends; once full they are *sealed* into immutable :class:`Segment`
+instances carrying the pruning metadata (time span, spatial extent) that
+lets scans skip non-overlapping segments entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StoreError
+
+#: Column order of every batch travelling through the store.
+COLUMNS = ("time", "lat", "lon", "value", "user_id")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """An immutable columnar run of records plus pruning metadata.
+
+    ``lat``/``lon`` are NaN for records without a GPS fix and ``value``
+    is NaN for records without a scalar payload; the spatial extent
+    fields are NaN when *no* record in the segment has a fix.
+    """
+
+    time: np.ndarray
+    lat: np.ndarray
+    lon: np.ndarray
+    value: np.ndarray
+    user_id: np.ndarray
+    t_min: float
+    t_max: float
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+    #: Sealed segments are frozen; the store's one open segment per
+    #: partition is exposed through the same type with ``sealed=False``.
+    sealed: bool = True
+
+    def __len__(self) -> int:
+        return len(self.time)
+
+    def overlaps_time(self, t0: float | None, t1: float | None) -> bool:
+        """Whether any record could fall in ``[t0, t1)``."""
+        if t0 is not None and self.t_max < t0:
+            return False
+        if t1 is not None and self.t_min >= t1:
+            return False
+        return True
+
+    def overlaps_bbox(self, south: float, west: float, north: float, east: float) -> bool:
+        """Whether the segment's spatial extent intersects the box.
+
+        Segments with no GPS fixes at all (NaN extent) never match.
+        """
+        if np.isnan(self.lat_min):
+            return False
+        return not (
+            self.lat_max < south
+            or self.lat_min > north
+            or self.lon_max < west
+            or self.lon_min > east
+        )
+
+
+class SegmentBuilder:
+    """The open (mutable) segment of one partition.
+
+    Pre-allocates ``capacity`` rows and fills them by slice assignment;
+    running min/max metadata is maintained per batch so converting the
+    builder into a scan view is O(1).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise StoreError(f"segment capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.size = 0
+        self._time = np.empty(capacity, dtype=np.float64)
+        self._lat = np.empty(capacity, dtype=np.float64)
+        self._lon = np.empty(capacity, dtype=np.float64)
+        self._value = np.empty(capacity, dtype=np.float64)
+        self._user_id = np.empty(capacity, dtype=np.int64)
+        self._t_min = np.inf
+        self._t_max = -np.inf
+        self._lat_min = np.nan
+        self._lat_max = np.nan
+        self._lon_min = np.nan
+        self._lon_max = np.nan
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self.size
+
+    @property
+    def full(self) -> bool:
+        return self.size >= self.capacity
+
+    def append(
+        self,
+        time: np.ndarray,
+        lat: np.ndarray,
+        lon: np.ndarray,
+        value: np.ndarray,
+        user_id: np.ndarray,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Copy rows ``[start, stop)`` of a column batch into the segment."""
+        n = stop - start
+        if n > self.remaining:
+            raise StoreError(
+                f"segment overflow: {n} rows into {self.remaining} free slots"
+            )
+        at = self.size
+        self._time[at : at + n] = time[start:stop]
+        self._lat[at : at + n] = lat[start:stop]
+        self._lon[at : at + n] = lon[start:stop]
+        self._value[at : at + n] = value[start:stop]
+        self._user_id[at : at + n] = user_id[start:stop]
+        self.size += n
+
+        self._t_min = min(self._t_min, float(np.min(time[start:stop])))
+        self._t_max = max(self._t_max, float(np.max(time[start:stop])))
+        chunk_lat = lat[start:stop]
+        if not np.all(np.isnan(chunk_lat)):
+            chunk_lon = lon[start:stop]
+            self._lat_min = np.fmin(self._lat_min, np.nanmin(chunk_lat))
+            self._lat_max = np.fmax(self._lat_max, np.nanmax(chunk_lat))
+            self._lon_min = np.fmin(self._lon_min, np.nanmin(chunk_lon))
+            self._lon_max = np.fmax(self._lon_max, np.nanmax(chunk_lon))
+
+    def as_segment(self) -> Segment:
+        """A zero-copy scan view over the rows written so far."""
+        n = self.size
+        return Segment(
+            time=self._time[:n],
+            lat=self._lat[:n],
+            lon=self._lon[:n],
+            value=self._value[:n],
+            user_id=self._user_id[:n],
+            t_min=self._t_min,
+            t_max=self._t_max,
+            lat_min=self._lat_min,
+            lat_max=self._lat_max,
+            lon_min=self._lon_min,
+            lon_max=self._lon_max,
+            sealed=False,
+        )
+
+    def seal(self) -> Segment:
+        """Freeze the builder into an immutable right-sized segment."""
+        n = self.size
+        segment = Segment(
+            time=self._time[:n].copy(),
+            lat=self._lat[:n].copy(),
+            lon=self._lon[:n].copy(),
+            value=self._value[:n].copy(),
+            user_id=self._user_id[:n].copy(),
+            t_min=self._t_min,
+            t_max=self._t_max,
+            lat_min=self._lat_min,
+            lat_max=self._lat_max,
+            lon_min=self._lon_min,
+            lon_max=self._lon_max,
+            sealed=True,
+        )
+        for array in (segment.time, segment.lat, segment.lon, segment.value, segment.user_id):
+            array.setflags(write=False)
+        return segment
+
+
+def merge_segments(segments: list[Segment]) -> Segment:
+    """Compact several sealed segments into one, sorted by time."""
+    if not segments:
+        raise StoreError("cannot merge an empty segment list")
+    time = np.concatenate([s.time for s in segments])
+    order = np.argsort(time, kind="stable")
+    lat = np.concatenate([s.lat for s in segments])[order]
+    lon = np.concatenate([s.lon for s in segments])[order]
+    # min/max over the per-segment extents, ignoring all-NaN (GPS-less)
+    # segments; the merge is all-NaN only when every input is.
+    with_fix = [s for s in segments if not np.isnan(s.lat_min)]
+    merged = Segment(
+        time=time[order],
+        lat=lat,
+        lon=lon,
+        value=np.concatenate([s.value for s in segments])[order],
+        user_id=np.concatenate([s.user_id for s in segments])[order],
+        t_min=min(s.t_min for s in segments),
+        t_max=max(s.t_max for s in segments),
+        lat_min=min(s.lat_min for s in with_fix) if with_fix else float("nan"),
+        lat_max=max(s.lat_max for s in with_fix) if with_fix else float("nan"),
+        lon_min=min(s.lon_min for s in with_fix) if with_fix else float("nan"),
+        lon_max=max(s.lon_max for s in with_fix) if with_fix else float("nan"),
+        sealed=True,
+    )
+    for array in (merged.time, merged.lat, merged.lon, merged.value, merged.user_id):
+        array.setflags(write=False)
+    return merged

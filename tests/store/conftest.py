@@ -1,0 +1,56 @@
+"""Shared helpers for the store subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apisense.device import SensorRecord
+from repro.geo.point import GeoPoint
+from repro.simulation import Simulator
+
+
+def make_record(
+    user: str = "u0",
+    task: str = "t",
+    time: float = 0.0,
+    lat: float | None = 44.84,
+    lon: float | None = -0.58,
+    value: float | None = 0.7,
+) -> SensorRecord:
+    values: dict[str, object] = {}
+    if lat is not None and lon is not None:
+        values["gps"] = GeoPoint(lat, lon)
+    if value is not None:
+        values["battery"] = value
+    return SensorRecord(
+        device_id=f"dev-{user}", user=user, task=task, time=time, values=values
+    )
+
+
+def make_records(
+    n: int,
+    user: str = "u0",
+    task: str = "t",
+    t0: float = 0.0,
+    dt: float = 60.0,
+    lat0: float = 44.80,
+    lon0: float = -0.60,
+    step_deg: float = 0.001,
+) -> list[SensorRecord]:
+    """``n`` records walking north-east, one fix every ``dt`` seconds."""
+    return [
+        make_record(
+            user=user,
+            task=task,
+            time=t0 + i * dt,
+            lat=lat0 + i * step_deg,
+            lon=lon0 + i * step_deg,
+            value=1.0 - i * 0.001,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def sim() -> Simulator:
+    return Simulator()

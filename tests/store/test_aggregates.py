@@ -1,0 +1,138 @@
+"""Aggregate-view correctness: streaming views vs brute-force recounts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.store import DatasetStore, StoreAggregates
+from tests.store.conftest import make_record, make_records
+
+
+def brute_force(store: DatasetStore, task: str, cell_deg: float):
+    """Recount everything from a raw store scan."""
+    batch = store.scan(task)
+    fix = ~np.isnan(batch.lat)
+    cells = {
+        (math.floor(lat / cell_deg), math.floor(lon / cell_deg))
+        for lat, lon in zip(batch.lat[fix].tolist(), batch.lon[fix].tolist())
+    }
+    return {
+        "records": len(batch),
+        "users": len(set(batch.user_names())),
+        "gps_records": int(np.count_nonzero(fix)),
+        "cells": cells,
+        "first": float(batch.time.min()),
+        "last": float(batch.time.max()),
+    }
+
+
+class TestAggregatesMatchBruteForce:
+    @pytest.fixture()
+    def store(self) -> DatasetStore:
+        store = DatasetStore(n_shards=4, segment_capacity=32, coverage_cell_deg=0.005)
+        for u in range(7):
+            store.append(
+                make_records(
+                    60,
+                    user=f"user-{u}",
+                    t0=37.0 * u,
+                    lat0=44.78 + 0.003 * u,
+                    lon0=-0.63 + 0.004 * u,
+                    step_deg=0.0007,
+                ),
+                ingest_time=10_000.0,
+            )
+        # A few GPS-less records exercise the NaN path.
+        store.append(
+            [make_record(user="user-0", time=50_000.0 + i, lat=None, lon=None) for i in range(5)],
+            ingest_time=60_000.0,
+        )
+        return store
+
+    def test_counts_users_coverage_and_span(self, store):
+        aggregate = store.aggregate("t")
+        truth = brute_force(store, "t", cell_deg=0.005)
+        assert aggregate.records == truth["records"]
+        assert aggregate.n_users == truth["users"]
+        assert aggregate.gps_records == truth["gps_records"]
+        assert aggregate.cells == frozenset(truth["cells"])
+        assert aggregate.coverage_cells == len(truth["cells"])
+        assert aggregate.first_time == truth["first"]
+        assert aggregate.last_time == truth["last"]
+
+    def test_aggregates_survive_compaction_unchanged(self, store):
+        before = store.aggregate("t")
+        snapshot = (before.records, before.n_users, before.cells)
+        store.compact()
+        after = store.aggregate("t")
+        assert (after.records, after.n_users, after.cells) == snapshot
+        # The store itself still agrees with the view.
+        truth = brute_force(store, "t", cell_deg=0.005)
+        assert after.records == truth["records"]
+
+
+class TestLagStatistics:
+    def test_lag_mean_and_max_exact(self):
+        store = DatasetStore(n_shards=1)
+        times = [0.0, 10.0, 40.0, 90.0]
+        store.append(
+            [make_record(time=t) for t in times], ingest_time=100.0
+        )
+        aggregate = store.aggregate("t")
+        lags = [100.0 - t for t in times]
+        assert aggregate.lag_max == max(lags)
+        assert aggregate.lag_mean == pytest.approx(sum(lags) / len(lags))
+        assert aggregate.lag_count == len(lags)
+
+    def test_lag_percentiles_track_brute_force(self):
+        rng = np.random.default_rng(3)
+        store = DatasetStore(n_shards=2)
+        all_lags = []
+        for flush in range(40):
+            ingest = 1000.0 * (flush + 1)
+            ages = rng.uniform(0.0, 600.0, size=50)
+            all_lags.extend(ages.tolist())
+            store.append(
+                [
+                    make_record(user=f"u{i % 4}", time=ingest - age)
+                    for i, age in enumerate(ages)
+                ],
+                ingest_time=ingest,
+            )
+        aggregate = store.aggregate("t")
+        assert aggregate.lag_p50 == pytest.approx(
+            float(np.percentile(all_lags, 50)), abs=20.0
+        )
+        assert aggregate.lag_p95 == pytest.approx(
+            float(np.percentile(all_lags, 95)), abs=20.0
+        )
+        assert aggregate.lag_p99 <= 600.0
+
+    def test_bulk_load_skips_lag(self):
+        store = DatasetStore(n_shards=1)
+        store.append(make_records(10))  # no ingest_time
+        aggregate = store.aggregate("t")
+        assert aggregate.lag_count == 0
+        assert aggregate.lag_mean == 0.0
+        assert aggregate.lag_p95 == 0.0
+
+    def test_freshness(self):
+        store = DatasetStore(n_shards=1)
+        store.append([make_record(time=500.0)], ingest_time=501.0)
+        assert store.aggregate("t").freshness(800.0) == 300.0
+        empty = StoreAggregates()
+        with pytest.raises(StoreError):
+            empty.task("missing")
+
+
+class TestPerTaskIsolation:
+    def test_tasks_tracked_independently(self):
+        store = DatasetStore(n_shards=2)
+        store.append(make_records(10, task="a", user="u1"), ingest_time=700.0)
+        store.append(make_records(25, task="b", user="u2"), ingest_time=700.0)
+        assert store.aggregate("a").records == 10
+        assert store.aggregate("b").records == 25
+        assert sorted(store.aggregates.tasks) == ["a", "b"]
+        assert store.aggregates.get("c") is None

@@ -1,0 +1,90 @@
+"""End-to-end tests of ``python -m repro store ...``."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def raw_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("store-cli") / "raw.csv"
+    code = main(
+        [
+            "generate",
+            "--users", "5",
+            "--days", "2",
+            "--period", "300",
+            "--seed", "7",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestStoreStats:
+    def test_reports_store_pipeline_and_aggregates(self, raw_csv, capsys):
+        code = main(
+            [
+                "store", "stats",
+                "--input", str(raw_csv),
+                "--shards", "4",
+                "--segment-capacity", "512",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "across 4 shards" in out
+        assert "pipeline:" in out and "flushes" in out
+        assert "task ingested:" in out and "coverage cells" in out
+
+
+class TestStoreQuery:
+    def test_time_range_query_writes_csv(self, raw_csv, tmp_path, capsys):
+        out_path = tmp_path / "slice.csv"
+        code = main(
+            [
+                "store", "query",
+                "--input", str(raw_csv),
+                "--t0", "0",
+                "--t1", "43200",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query matched" in out
+        with open(out_path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["user", "time", "lat", "lon", "value"]
+        assert len(rows) > 1
+        assert all(0.0 <= float(row[1]) < 43200.0 for row in rows[1:])
+
+    def test_user_and_bbox_filters(self, raw_csv, capsys):
+        code = main(
+            [
+                "store", "query",
+                "--input", str(raw_csv),
+                "--user", "user-0000",
+                "--bbox", "-90", "-180", "90", "180",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "from 1 users" in out
+
+
+class TestStoreCompact:
+    def test_compaction_reported(self, raw_csv, capsys):
+        code = main(
+            [
+                "store", "compact",
+                "--input", str(raw_csv),
+                "--segment-capacity", "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "segments" in out

@@ -1,0 +1,237 @@
+"""Unit tests for the ingest pipeline: batching and backpressure."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import DatasetStore, IngestPipeline
+from tests.store.conftest import make_record, make_records
+
+
+def build(sim, policy="spill", capacity=64, n_shards=1, flush_delay=0.5):
+    store = DatasetStore(n_shards=n_shards, segment_capacity=256)
+    pipeline = IngestPipeline(
+        sim, store, policy=policy, buffer_capacity=capacity, flush_delay=flush_delay
+    )
+    return store, pipeline
+
+
+class TestValidation:
+    def test_bad_policy(self, sim):
+        store = DatasetStore(n_shards=1)
+        with pytest.raises(StoreError):
+            IngestPipeline(sim, store, policy="fifo")
+
+    def test_bad_capacity(self, sim):
+        store = DatasetStore(n_shards=1)
+        with pytest.raises(StoreError):
+            IngestPipeline(sim, store, buffer_capacity=0)
+
+    def test_bad_flush_delay(self, sim):
+        store = DatasetStore(n_shards=1)
+        with pytest.raises(StoreError):
+            IngestPipeline(sim, store, flush_delay=-1.0)
+
+
+class TestBatching:
+    def test_submits_within_window_coalesce_into_one_flush(self, sim):
+        store, pipeline = build(sim, flush_delay=1.0)
+        flushes = []
+        pipeline.add_listener(lambda recs: flushes.append(len(recs)))
+        for i in range(5):
+            pipeline.submit(make_records(10, t0=100.0 * i))
+        assert pipeline.buffered == 50
+        sim.run()
+        assert flushes == [50]
+        assert store.n_records == 50
+        assert pipeline.stats.flushes == 1
+        assert pipeline.stats.largest_flush == 50
+
+    def test_flush_fires_after_delay(self, sim):
+        _, pipeline = build(sim, flush_delay=0.5)
+        flush_times = []
+        pipeline.add_listener(lambda recs: flush_times.append(sim.now))
+        pipeline.submit(make_records(3))
+        sim.run()
+        assert flush_times == [pytest.approx(0.5)]
+
+    def test_separate_windows_make_separate_batches(self, sim):
+        store, pipeline = build(sim, flush_delay=0.5)
+        flushes = []
+        pipeline.add_listener(lambda recs: flushes.append(len(recs)))
+        pipeline.submit(make_records(10))
+        sim.run()
+        pipeline.submit(make_records(7, t0=1000.0))
+        sim.run()
+        assert flushes == [10, 7]
+        assert store.n_records == 17
+
+    def test_empty_submit_is_noop(self, sim):
+        _, pipeline = build(sim)
+        assert pipeline.submit([]) == 0
+        assert sim.pending == 0
+
+    def test_idle_pipeline_schedules_no_events(self, sim):
+        build(sim)
+        assert sim.pending == 0
+
+    def test_shards_flush_independently(self, sim):
+        # Two users that land in different shards of a 4-shard store.
+        store, pipeline = build(sim, n_shards=4, flush_delay=0.5)
+        users = {}
+        for i in range(20):
+            user = f"u{i}"
+            users.setdefault(store.shard_of("t", user), user)
+            if len(users) >= 2:
+                break
+        (shard_a, user_a), (shard_b, user_b) = list(users.items())[:2]
+        assert shard_a != shard_b
+        flushes = []
+        pipeline.add_listener(lambda recs: flushes.append({r.user for r in recs}))
+        pipeline.submit(make_records(5, user=user_a))
+        pipeline.submit(make_records(5, user=user_b))
+        sim.run()
+        assert len(flushes) == 2
+        assert {user_a} in flushes and {user_b} in flushes
+
+
+class TestRejectPolicy:
+    def test_overflow_batch_bounces_entirely(self, sim):
+        store, pipeline = build(sim, policy="reject", capacity=10)
+        assert pipeline.submit(make_records(8)) == 8
+        assert pipeline.submit(make_records(5, t0=5000.0)) == 0
+        assert pipeline.stats.rejected == 5
+        assert pipeline.submit(make_records(2, t0=9000.0)) == 2
+        sim.run()
+        assert store.n_records == 10
+
+    def test_capacity_frees_after_flush(self, sim):
+        store, pipeline = build(sim, policy="reject", capacity=10)
+        pipeline.submit(make_records(10))
+        sim.run()  # flush empties the buffer
+        assert pipeline.submit(make_records(10, t0=5000.0)) == 10
+        sim.run()
+        assert store.n_records == 20
+        assert pipeline.stats.rejected == 0
+
+
+class TestDropOldestPolicy:
+    def test_oldest_buffered_records_evicted(self, sim):
+        store, pipeline = build(sim, policy="drop-oldest", capacity=10)
+        pipeline.submit(make_records(8, t0=0.0))
+        assert pipeline.submit(make_records(5, t0=10_000.0)) == 5
+        assert pipeline.stats.dropped == 3
+        sim.run()
+        assert store.n_records == 10
+        # The three oldest records (t=0, 60, 120) were shed.
+        batch = store.scan("t")
+        assert float(batch.time.min()) == 180.0
+
+    def test_giant_batch_keeps_newest_tail(self, sim):
+        store, pipeline = build(sim, policy="drop-oldest", capacity=10)
+        pipeline.submit(make_records(4, t0=0.0))
+        accepted = pipeline.submit(make_records(25, t0=10_000.0))
+        assert accepted == 10
+        assert pipeline.stats.dropped == 4 + 15
+        sim.run()
+        assert store.n_records == 10
+        batch = store.scan("t")
+        assert float(batch.time.min()) == 10_000.0 + 15 * 60.0
+
+    def test_no_drop_when_room(self, sim):
+        store, pipeline = build(sim, policy="drop-oldest", capacity=100)
+        pipeline.submit(make_records(60))
+        sim.run()
+        assert pipeline.stats.dropped == 0
+        assert store.n_records == 60
+
+
+class TestSpillPolicy:
+    def test_overflow_parks_in_spill_queue(self, sim):
+        store, pipeline = build(sim, policy="spill", capacity=10)
+        assert pipeline.submit(make_records(25)) == 25
+        assert pipeline.buffered == 10
+        assert pipeline.backlog == 15
+        assert pipeline.stats.spilled == 15
+        sim.run()  # flush drains buffer + spill (15 < one capacity)
+        assert store.n_records == 25
+        assert pipeline.backlog == 0
+
+    def test_deep_spill_drains_over_multiple_flushes(self, sim):
+        store, pipeline = build(sim, policy="spill", capacity=10)
+        pipeline.submit(make_records(55))
+        sim.run()
+        # Each flush moves buffer + at most one capacity of spill.
+        assert pipeline.stats.flushes >= 3
+        assert store.n_records == 55
+        assert pipeline.backlog == 0
+
+    def test_nothing_is_lost(self, sim):
+        store, pipeline = build(sim, policy="spill", capacity=7)
+        for i in range(10):
+            pipeline.submit(make_records(13, t0=2000.0 * i))
+        sim.run()
+        assert store.n_records == 130
+        assert pipeline.stats.loss == 0
+
+
+class TestRouter:
+    def test_router_receives_flushes(self, sim):
+        store, pipeline = build(sim)
+        routed = []
+        pipeline.set_router(lambda recs: routed.append(len(recs)))
+        pipeline.submit(make_records(4))
+        sim.run()
+        assert routed == [4]
+
+    def test_router_is_exclusive(self, sim):
+        _, pipeline = build(sim)
+        pipeline.set_router(lambda recs: None)
+        with pytest.raises(StoreError):
+            pipeline.set_router(lambda recs: None)
+
+    def test_observers_stack_alongside_router(self, sim):
+        _, pipeline = build(sim)
+        seen = []
+        pipeline.set_router(lambda recs: seen.append("router"))
+        pipeline.add_listener(lambda recs: seen.append("observer"))
+        pipeline.submit(make_records(1))
+        sim.run()
+        assert seen == ["router", "observer"]
+
+
+class TestFlushAll:
+    def test_synchronous_drain_arms_no_new_events(self, sim):
+        # flush_all drains a deep spill without parking one no-op flush
+        # event per chunk in the simulator heap.
+        _, pipeline = build(sim, policy="spill", capacity=5)
+        pipeline.submit(make_records(23))
+        armed = sim.pending  # the one flush armed by submit()
+        pipeline.flush_all()
+        assert sim.pending == armed
+
+    def test_drains_buffers_and_spill(self, sim):
+        store, pipeline = build(sim, policy="spill", capacity=10)
+        pipeline.submit(make_records(34))
+        flushed = pipeline.flush_all()
+        assert flushed == 34
+        assert store.n_records == 34
+        assert pipeline.buffered == 0 and pipeline.backlog == 0
+
+    def test_empty_flush_all(self, sim):
+        _, pipeline = build(sim)
+        assert pipeline.flush_all() == 0
+
+
+class TestStats:
+    def test_counters_add_up(self, sim):
+        _, pipeline = build(sim, policy="spill", capacity=10)
+        pipeline.submit(make_records(25))
+        pipeline.submit([make_record(time=99999.0)])
+        sim.run()
+        stats = pipeline.stats
+        assert stats.submitted == 26
+        assert stats.accepted == 26
+        assert stats.flushed_records == 26
+        assert stats.mean_flush_batch == pytest.approx(
+            stats.flushed_records / stats.flushes
+        )

@@ -1,0 +1,49 @@
+"""Unit tests for the P² streaming quantile estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.store.quantiles import P2Quantile
+
+
+class TestP2Quantile:
+    def test_parameter_validation(self):
+        for p in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(StoreError):
+                P2Quantile(p)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(P2Quantile(0.5).value())
+
+    def test_small_samples_exact(self):
+        q = P2Quantile(0.5)
+        for x in [3.0, 1.0, 2.0]:
+            q.add(x)
+        assert q.value() == 2.0
+        assert len(q) == 3
+
+    @pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+    def test_tracks_uniform_stream(self, p):
+        rng = np.random.default_rng(7)
+        samples = rng.uniform(0.0, 100.0, size=5000)
+        estimator = P2Quantile(p)
+        for x in samples:
+            estimator.add(x)
+        exact = float(np.percentile(samples, p * 100.0))
+        assert estimator.value() == pytest.approx(exact, abs=2.5)
+
+    def test_tracks_skewed_stream(self):
+        rng = np.random.default_rng(11)
+        samples = rng.exponential(10.0, size=5000)
+        estimator = P2Quantile(0.95)
+        for x in samples:
+            estimator.add(x)
+        exact = float(np.percentile(samples, 95.0))
+        assert estimator.value() == pytest.approx(exact, rel=0.15)
+
+    def test_constant_stream(self):
+        estimator = P2Quantile(0.95)
+        for _ in range(100):
+            estimator.add(5.0)
+        assert estimator.value() == 5.0

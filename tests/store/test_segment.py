@@ -1,0 +1,119 @@
+"""Unit tests for columnar segments: build, seal, prune, merge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.store.segment import Segment, SegmentBuilder, merge_segments
+
+
+def fill(builder: SegmentBuilder, times, lats=None, lons=None) -> None:
+    n = len(times)
+    t = np.asarray(times, dtype=np.float64)
+    lat = np.asarray(lats if lats is not None else [44.8] * n, dtype=np.float64)
+    lon = np.asarray(lons if lons is not None else [-0.58] * n, dtype=np.float64)
+    value = np.zeros(n)
+    uid = np.zeros(n, dtype=np.int64)
+    builder.append(t, lat, lon, value, uid, 0, n)
+
+
+class TestBuilder:
+    def test_capacity_validation(self):
+        with pytest.raises(StoreError):
+            SegmentBuilder(0)
+
+    def test_append_tracks_metadata(self):
+        builder = SegmentBuilder(16)
+        fill(builder, [5.0, 1.0, 9.0], lats=[44.1, 44.9, 44.5], lons=[-0.7, -0.1, -0.4])
+        assert builder.size == 3
+        view = builder.as_segment()
+        assert view.t_min == 1.0 and view.t_max == 9.0
+        assert view.lat_min == 44.1 and view.lat_max == 44.9
+        assert view.lon_min == -0.7 and view.lon_max == -0.1
+        assert not view.sealed
+
+    def test_overflow_rejected(self):
+        builder = SegmentBuilder(2)
+        with pytest.raises(StoreError):
+            fill(builder, [1.0, 2.0, 3.0])
+
+    def test_nan_gps_ignored_in_extent(self):
+        builder = SegmentBuilder(8)
+        nan = float("nan")
+        fill(builder, [1.0, 2.0], lats=[nan, 44.5], lons=[nan, -0.5])
+        view = builder.as_segment()
+        assert view.lat_min == 44.5 and view.lon_max == -0.5
+
+    def test_all_nan_extent_never_matches_bbox(self):
+        builder = SegmentBuilder(4)
+        nan = float("nan")
+        fill(builder, [1.0], lats=[nan], lons=[nan])
+        view = builder.as_segment()
+        assert not view.overlaps_bbox(-90.0, -180.0, 90.0, 180.0)
+
+    def test_seal_is_immutable_and_right_sized(self):
+        builder = SegmentBuilder(100)
+        fill(builder, [1.0, 2.0, 3.0])
+        segment = builder.seal()
+        assert segment.sealed
+        assert len(segment) == 3
+        assert len(segment.time) == 3
+        with pytest.raises(ValueError):
+            segment.time[0] = 99.0
+
+
+class TestPruning:
+    @pytest.fixture()
+    def segment(self) -> Segment:
+        builder = SegmentBuilder(8)
+        fill(builder, [10.0, 20.0, 30.0], lats=[44.1, 44.2, 44.3], lons=[-0.3, -0.2, -0.1])
+        return builder.seal()
+
+    @pytest.mark.parametrize(
+        "t0,t1,expected",
+        [
+            (None, None, True),
+            (0.0, 10.0, False),  # t1 exclusive
+            (0.0, 10.1, True),
+            (30.0, None, True),
+            (30.1, None, False),
+            (None, 5.0, False),
+        ],
+    )
+    def test_time_overlap(self, segment, t0, t1, expected):
+        assert segment.overlaps_time(t0, t1) is expected
+
+    @pytest.mark.parametrize(
+        "box,expected",
+        [
+            ((44.0, -0.5, 44.5, 0.0), True),
+            ((44.25, -0.25, 44.5, 0.0), True),
+            ((45.0, -0.5, 45.5, 0.0), False),  # north of extent
+            ((44.0, 0.5, 44.5, 1.0), False),  # east of extent
+        ],
+    )
+    def test_bbox_overlap(self, segment, box, expected):
+        assert segment.overlaps_bbox(*box) is expected
+
+
+class TestMerge:
+    def test_merge_sorts_by_time(self):
+        a = SegmentBuilder(4)
+        fill(a, [30.0, 10.0])
+        b = SegmentBuilder(4)
+        fill(b, [20.0, 5.0])
+        merged = merge_segments([a.seal(), b.seal()])
+        assert merged.time.tolist() == [5.0, 10.0, 20.0, 30.0]
+        assert merged.t_min == 5.0 and merged.t_max == 30.0
+        assert len(merged) == 4
+
+    def test_merge_keeps_rows_aligned(self):
+        a = SegmentBuilder(4)
+        fill(a, [2.0, 1.0], lats=[44.2, 44.1], lons=[-0.2, -0.1])
+        merged = merge_segments([a.seal()])
+        assert merged.lat.tolist() == [44.1, 44.2]
+        assert merged.lon.tolist() == [-0.1, -0.2]
+
+    def test_merge_empty_list_rejected(self):
+        with pytest.raises(StoreError):
+            merge_segments([])

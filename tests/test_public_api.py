@@ -24,6 +24,7 @@ PUBLIC_PACKAGES = [
     "repro.crypto",
     "repro.simulation",
     "repro.apisense",
+    "repro.store",
     "repro.core",
 ]
 
