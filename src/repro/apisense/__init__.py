@@ -6,9 +6,19 @@ The platform's architecture maps one-to-one onto the paper's Figure 1:
   users and publishes crowd-sensing tasks;
 - :class:`~repro.apisense.honeycomb.Honeycomb` endpoints upload tasks
   (described as scripts) and receive the collected datasets;
-- :class:`~repro.apisense.device.MobileDevice` instances run offloaded
-  tasks against their sensors, behind an on-device privacy layer
-  (:mod:`repro.apisense.filters`) controlled by user preferences;
+- :mod:`repro.apisense.scripting` is the paper's scripting facade — the
+  v2 Sensing Script API: a :class:`~repro.apisense.scripting.TaskScript`
+  registers periodic timers (re-schedulable at runtime for adaptive
+  sampling), sensor-change triggers, and geofence handlers against a
+  :class:`~repro.apisense.scripting.TaskContext` with lazy sensor
+  facades; the fluent :class:`~repro.apisense.scripting.TaskBuilder`
+  (``SensingTask.builder(...)``) is the declarative front door, and
+  legacy one-hook tasks run unchanged through an adapter;
+- :class:`~repro.apisense.device.MobileDevice` instances execute
+  offloaded scripts through an event-driven
+  :class:`~repro.apisense.scripting.TaskDispatcher` over their sensors,
+  behind an on-device privacy layer (:mod:`repro.apisense.filters`)
+  controlled by user preferences;
 - :class:`~repro.apisense.virtual_sensor.VirtualSensor` groups devices
   behind retrieval strategies (:mod:`repro.apisense.scheduling`);
 - :mod:`repro.apisense.incentives` implements the four incentive
@@ -20,14 +30,28 @@ Everything runs on the deterministic simulator from
 
 from repro.apisense.tasks import SensingTask
 from repro.apisense.battery import Battery, BatteryModel
+from repro.apisense.scripting import (
+    HandlerStats,
+    LegacyHookScript,
+    ScriptRuntime,
+    SensorReadRefused,
+    TaskBuilder,
+    TaskContext,
+    TaskDispatcher,
+    TaskScript,
+    TimerHandle,
+    TriggerEvent,
+)
 from repro.apisense.sensors import (
     AccelerometerSensor,
     BatterySensor,
     GpsSensor,
     NetworkQualitySensor,
     Sensor,
+    SensorRegistry,
     SensorSuite,
     default_sensor_suite,
+    sensor_registry,
 )
 from repro.apisense.preferences import UserPreferences
 from repro.apisense.filters import (
@@ -61,7 +85,7 @@ from repro.apisense.campaign import Campaign, CampaignConfig, CampaignReport
 from repro.apisense.transport import Transport, TransportStats
 from repro.apisense.federation import HiveFederation, SyndicationReceipt
 from repro.apisense.monitoring import PlatformHealthReport, snapshot
-from repro.apisense.vetting import DryRunReport, dry_run_task
+from repro.apisense.vetting import DryRunReport, HandlerReport, describe_task, dry_run_task
 from repro.apisense.recruitment import (
     AllDevices,
     BatteryFloorRecruitment,
@@ -73,10 +97,22 @@ from repro.apisense.recruitment import (
 
 __all__ = [
     "SensingTask",
+    "TaskBuilder",
+    "TaskScript",
+    "TaskContext",
+    "TaskDispatcher",
+    "TimerHandle",
+    "TriggerEvent",
+    "HandlerStats",
+    "LegacyHookScript",
+    "ScriptRuntime",
+    "SensorReadRefused",
     "Battery",
     "BatteryModel",
     "Sensor",
     "SensorSuite",
+    "SensorRegistry",
+    "sensor_registry",
     "GpsSensor",
     "BatterySensor",
     "NetworkQualitySensor",
@@ -120,6 +156,8 @@ __all__ = [
     "HiveFederation",
     "SyndicationReceipt",
     "DryRunReport",
+    "HandlerReport",
+    "describe_task",
     "dry_run_task",
     "PlatformHealthReport",
     "snapshot",

@@ -35,6 +35,9 @@ class CampaignConfig:
     delivery_latency: float = 0.2
     #: Devices start with batteries uniformly in this range.
     initial_battery: tuple[float, float] = (0.5, 1.0)
+    #: Battery parameters shared by the fleet's device class; heavier
+    #: drain profiles exercise energy-adaptive scripts.
+    battery_model: BatteryModel = field(default_factory=BatteryModel)
     #: Daily participation dynamics: a participant drops a task with
     #: probability ``(1 - motivation) * daily_churn``; a lapsed user
     #: re-joins with probability ``acceptance * rejoin_factor``.  This is
@@ -122,7 +125,7 @@ class Campaign:
                 trajectory=trajectory,
                 sensors=self._sensor_suite,
                 battery=Battery(
-                    BatteryModel(), level=float(self._rng.uniform(lo, hi))
+                    self.config.battery_model, level=float(self._rng.uniform(lo, hi))
                 ),
                 preferences=self._preferences.get(user, UserPreferences()),
                 seed=self.config.seed * 100_003 + index,

@@ -1,15 +1,17 @@
 """The simulated mobile device: task runtime, sensors, privacy layer.
 
 A device is driven entirely by simulator events: when it accepts a task
-it schedules its own sampling and upload ticks.  Every sample passes
-through the user's privacy filter chain before it is buffered, and the
-buffer leaves the device only on upload ticks — mirroring the real
-APISENSE client's store-and-forward design.
+it hands execution to a :class:`~repro.apisense.scripting.TaskDispatcher`
+— the event-driven runtime behind the v2 scripting API — and schedules
+its own upload ticks.  Every sample a script saves passes through the
+user's privacy filter chain before it is buffered, and the buffer leaves
+the device only on upload ticks — mirroring the real APISENSE client's
+store-and-forward design.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
@@ -17,6 +19,7 @@ import numpy as np
 from repro.apisense.battery import Battery
 from repro.apisense.filters import PrivacyFilterChain
 from repro.apisense.preferences import UserPreferences
+from repro.apisense.scripting import ScriptRuntime, TaskDispatcher, TaskRuntimeStats
 from repro.apisense.sensors import SensorSuite
 from repro.apisense.tasks import SensingTask
 from repro.errors import PlatformError
@@ -26,6 +29,8 @@ from repro.simulation import CancelToken, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.apisense.hive import Hive
+
+__all__ = ["MobileDevice", "SensorRecord", "TaskRuntimeStats", "DeviceScriptRuntime"]
 
 
 @dataclass(frozen=True)
@@ -45,20 +50,56 @@ class SensorRecord:
     values: Mapping[str, object]
 
 
-@dataclass
-class TaskRuntimeStats:
-    """Per-task counters a device keeps (observable via the Hive)."""
+class DeviceScriptRuntime(ScriptRuntime):
+    """Bridge from the scripting dispatcher to a real device.
 
-    samples_taken: int = 0
-    samples_filtered: int = 0
-    samples_script_dropped: int = 0
-    script_errors: int = 0
-    samples_battery_refused: int = 0
-    uploads: int = 0
-    uploads_failed: int = 0
-    #: Uploads shed whole by the Hive's ingest gateway (backpressure);
-    #: the batch is re-buffered and retried like a lost upload.
-    uploads_rejected: int = 0
+    Physical context (position, battery level, quiet hours) is read from
+    the device's simulated state for free — it drives trigger predicates.
+    Actual sensor reads pay the battery cost via :meth:`acquire`, and
+    emitted samples run the privacy filter chain before landing in the
+    task's store-and-forward buffer.
+    """
+
+    def __init__(self, device: "MobileDevice", task: SensingTask):
+        assert device._sim is not None
+        self.sim = device._sim
+        self.stats = device.stats[task.name]
+        self._device = device
+        self._task = task
+
+    def position(self, time: float) -> GeoPoint:
+        return self._device.position(time)
+
+    def battery_level(self, time: float) -> float:
+        return self._device.battery.level(time)
+
+    def in_quiet_hours(self, time: float) -> bool:
+        return self._device.preferences.in_quiet_hours(time)
+
+    def acquire(self, sensors: tuple[str, ...], time: float) -> bool:
+        return self._device.battery.drain_sample(sensors, time)
+
+    def read_sensor(self, name: str, time: float) -> object:
+        device = self._device
+        return device.sensors.get(name).read(device, time, device._rng)
+
+    def emit(self, values: Mapping[str, object], time: float) -> bool:
+        device = self._device
+        filtered = device._filters.apply(dict(values), time)
+        if filtered is None:
+            self.stats.samples_filtered += 1
+            return False
+        self.stats.samples_taken += 1
+        device._buffers[self._task.name].append(
+            SensorRecord(
+                device_id=device.device_id,
+                user=device.user,
+                task=self._task.name,
+                time=time,
+                values=dict(filtered),
+            )
+        )
+        return True
 
 
 class MobileDevice:
@@ -86,7 +127,8 @@ class MobileDevice:
         self._hive: "Hive | None" = None
         self._transport = None
         self._buffers: dict[str, list[SensorRecord]] = {}
-        self._tokens: dict[str, list[CancelToken]] = {}
+        self._dispatchers: dict[str, TaskDispatcher] = {}
+        self._upload_tokens: dict[str, CancelToken] = {}
         self.stats: dict[str, TaskRuntimeStats] = {}
 
     # ------------------------------------------------------------------
@@ -110,7 +152,13 @@ class MobileDevice:
 
     @property
     def running_tasks(self) -> list[str]:
-        return list(self._tokens)
+        return list(self._dispatchers)
+
+    def dispatcher(self, task_name: str) -> TaskDispatcher:
+        """The running dispatcher of a task (introspection / tests)."""
+        if task_name not in self._dispatchers:
+            raise PlatformError(f"task {task_name!r} not running on {self.device_id}")
+        return self._dispatchers[task_name]
 
     # ------------------------------------------------------------------
     # Task lifecycle
@@ -125,7 +173,7 @@ class MobileDevice:
         """
         if self._sim is None or self._hive is None:
             raise PlatformError(f"device {self.device_id} is not bound to a simulation")
-        if task.name in self._tokens:
+        if task.name in self._dispatchers:
             raise PlatformError(f"task {task.name!r} already running on {self.device_id}")
         if not self.preferences.allows_sensors(task.sensors):
             return False
@@ -140,77 +188,31 @@ class MobileDevice:
         assert self._sim is not None
         self._buffers[task.name] = []
         self.stats[task.name] = TaskRuntimeStats()
+        dispatcher = TaskDispatcher(task, DeviceScriptRuntime(self, task))
+        dispatcher.start()
+        self._dispatchers[task.name] = dispatcher
         start = max(task.start, self._sim.now)
-        sampling = self._sim.schedule_periodic(
-            task.sampling_period,
-            lambda: self._sample(task),
-            until=task.end,
-            first_at=start + task.sampling_period,
-        )
-        upload = self._sim.schedule_periodic(
+        self._upload_tokens[task.name] = self._sim.schedule_periodic(
             task.upload_period,
             lambda: self._upload(task),
             until=task.end + task.upload_period,
             first_at=start + task.upload_period,
         )
-        self._tokens[task.name] = [sampling, upload]
 
     def stop_task(self, task_name: str) -> None:
         """Cancel a running task and flush its buffer."""
-        tokens = self._tokens.pop(task_name, None)
-        if tokens is None:
+        dispatcher = self._dispatchers.pop(task_name, None)
+        if dispatcher is None:
             return
-        for token in tokens:
+        dispatcher.cancel()
+        token = self._upload_tokens.pop(task_name, None)
+        if token is not None:
             token.cancel()
         self._flush(task_name)
 
     # ------------------------------------------------------------------
-    # Sampling & upload ticks
+    # Upload ticks
     # ------------------------------------------------------------------
-
-    def _sample(self, task: SensingTask) -> None:
-        assert self._sim is not None
-        now = self._sim.now
-        stats = self.stats[task.name]
-
-        if self.preferences.in_quiet_hours(now):
-            stats.samples_filtered += 1
-            return
-        if task.region is not None and not task.region.contains(self.position(now)):
-            return
-        if not self.battery.drain_sample(task.sensors, now):
-            stats.samples_battery_refused += 1
-            return
-
-        values: dict[str, object] = {
-            name: self.sensors.get(name).read(self, now, self._rng)
-            for name in task.sensors
-        }
-        if task.script is not None:
-            try:
-                scripted = task.script(values)
-            except Exception:
-                stats.script_errors += 1
-                return
-            if scripted is None:
-                stats.samples_script_dropped += 1
-                return
-            values = dict(scripted)
-
-        filtered = self._filters.apply(values, now)
-        if filtered is None:
-            stats.samples_filtered += 1
-            return
-        stats.samples_taken += 1
-        self._buffers[task.name].append(
-            SensorRecord(
-                device_id=self.device_id,
-                user=self.user,
-                task=task.name,
-                time=now,
-                values=dict(filtered),
-            )
-        )
 
     def _upload(self, task: SensingTask) -> None:
         self._flush(task.name)

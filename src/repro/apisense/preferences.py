@@ -23,7 +23,9 @@ class UserPreferences:
     ----------
     allowed_sensors:
         Sensors the user shares; tasks requesting anything else are
-        declined by the device, not silently filtered.
+        declined by the device, not silently filtered.  ``None`` (the
+        default) shares every sensor the device has — including custom
+        registry sensors — so restricting is an explicit opt-in.
     quiet_hours:
         Time-of-day windows (seconds from midnight, wrapping allowed)
         during which no sampling happens at all.
@@ -35,7 +37,7 @@ class UserPreferences:
         leaving the device (location blurring).
     """
 
-    allowed_sensors: frozenset[str] = frozenset({"gps", "battery", "network", "accelerometer"})
+    allowed_sensors: frozenset[str] | None = None
     quiet_hours: tuple[tuple[float, float], ...] = ()
     forbidden_zones: tuple[tuple[GeoPoint, float], ...] = ()
     blur_cell_m: float = 0.0
@@ -54,6 +56,8 @@ class UserPreferences:
 
     def allows_sensors(self, sensors: tuple[str, ...]) -> bool:
         """Whether every requested sensor is shareable."""
+        if self.allowed_sensors is None:
+            return True
         return set(sensors) <= self.allowed_sensors
 
     def in_quiet_hours(self, time: float) -> bool:

@@ -24,6 +24,41 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.apisense.device import MobileDevice
 
 
+class SensorRegistry:
+    """The sensors the platform can serve — the vocabulary task
+    validation checks requested sensor names against.
+
+    Starts from the built-in phone sensors and grows as
+    :class:`SensorSuite` instances register custom sensors, so a task
+    can request any sensor some suite actually provides (devices whose
+    suite lacks it simply decline the offer).  The default instance is
+    process-wide and append-only: build the suite (or register the
+    name) before validating tasks that request a custom sensor.
+    """
+
+    def __init__(self, builtin: tuple[str, ...] = ()):
+        self._names: set[str] = set(builtin)
+
+    def register(self, name: str) -> None:
+        """Make ``name`` requestable by tasks; idempotent."""
+        if not name or not isinstance(name, str):
+            raise PlatformError(f"sensor name must be a non-empty string: {name!r}")
+        self._names.add(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def registered(self) -> frozenset[str]:
+        """Every currently-registered sensor name."""
+        return frozenset(self._names)
+
+
+#: The process-wide registry task validation consults.
+sensor_registry = SensorRegistry(
+    builtin=("gps", "battery", "network", "accelerometer")
+)
+
+
 class Sensor(ABC):
     """One readable sensor; stateless, so a suite can be shared."""
 
@@ -106,9 +141,18 @@ class AccelerometerSensor(Sensor):
 
 @dataclass(frozen=True)
 class SensorSuite:
-    """The set of sensors available on a device."""
+    """The set of sensors available on a device.
+
+    Building a suite registers its sensor names in the process-wide
+    :data:`sensor_registry`, so tasks may request any sensor a suite
+    provides — including custom sensors beyond the built-in four.
+    """
 
     sensors: dict[str, Sensor]
+
+    def __post_init__(self) -> None:
+        for name in self.sensors:
+            sensor_registry.register(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self.sensors

@@ -14,8 +14,15 @@ plus the server-side storage operations, grouped under ``store``::
     python -m repro store query   --input raw.csv --t0 0 --t1 86400 --out day0.csv
     python -m repro store compact --input raw.csv --segment-capacity 512
 
-All commands work on the ``user,time,lat,lon`` CSV format of
-:meth:`repro.mobility.dataset.MobilityDataset.to_csv`.
+and the task-lifecycle operations, grouped under ``task``::
+
+    python -m repro task vet      --spec examples/adaptive_scripting.py
+    python -m repro task describe --spec my_experiment.py:TASK
+
+Dataset commands work on the ``user,time,lat,lon`` CSV format of
+:meth:`repro.mobility.dataset.MobilityDataset.to_csv`; ``task`` commands
+load a :class:`~repro.apisense.tasks.SensingTask` from a Python spec
+file (a module exposing ``TASK`` or a ``build_task()`` factory).
 """
 
 from __future__ import annotations
@@ -325,6 +332,70 @@ def cmd_store_compact(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# ``task`` subcommands (task lifecycle: vet / describe a spec)
+# ----------------------------------------------------------------------
+
+
+def _load_task_from_spec(spec: str):
+    """Load a :class:`SensingTask` from ``path.py`` or ``path.py:ATTR``.
+
+    Without an explicit attribute the loader looks for ``TASK`` (a task
+    instance) then ``build_task`` (a zero-argument factory) — the same
+    contract the examples follow.  A spec requesting custom sensors must
+    register them first (build the :class:`~repro.apisense.sensors.
+    SensorSuite` providing them, or call ``sensor_registry.register``)
+    — validation consults the process-wide registry.
+    """
+    import importlib.util
+    from pathlib import Path
+
+    from repro.apisense.tasks import SensingTask
+
+    path, _, attribute = spec.partition(":")
+    if not Path(path).exists():
+        raise SystemExit(f"task spec not found: {path}")
+    module_spec = importlib.util.spec_from_file_location("_task_spec", path)
+    if module_spec is None or module_spec.loader is None:
+        raise SystemExit(f"cannot import task spec: {path}")
+    module = importlib.util.module_from_spec(module_spec)
+    module_spec.loader.exec_module(module)
+
+    candidates = [attribute] if attribute else ["TASK", "build_task"]
+    for name in candidates:
+        value = getattr(module, name, None)
+        if value is None:
+            continue
+        if callable(value) and not isinstance(value, SensingTask):
+            value = value()
+        if isinstance(value, SensingTask):
+            return value
+        raise SystemExit(f"{path}:{name} is not a SensingTask (got {type(value).__name__})")
+    if attribute:
+        raise SystemExit(f"{path} has no attribute {attribute!r}")
+    raise SystemExit(
+        f"{path} exposes neither TASK nor build_task(); "
+        "point at the right attribute with --spec path.py:NAME"
+    )
+
+
+def cmd_task_vet(args: argparse.Namespace) -> int:
+    from repro.apisense.vetting import dry_run_task
+
+    task = _load_task_from_spec(args.spec)
+    report = dry_run_task(task, n_samples=args.samples, seed=args.seed)
+    print(report.to_text())
+    return 0 if report.acceptable() else 1
+
+
+def cmd_task_describe(args: argparse.Namespace) -> int:
+    from repro.apisense.vetting import describe_task
+
+    task = _load_task_from_spec(args.spec)
+    print(describe_task(task))
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
 
@@ -455,6 +526,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_common(store_compact)
     store_compact.set_defaults(handler=cmd_store_compact)
+
+    task = commands.add_parser(
+        "task", help="task lifecycle operations (vet / describe a task spec)"
+    )
+    task_commands = task.add_subparsers(
+        dest="task_command",
+        title="task subcommands",
+        required=True,
+    )
+
+    task_vet = task_commands.add_parser(
+        "vet", help="dry-run a task's script and print its DryRunReport"
+    )
+    task_vet.add_argument(
+        "--spec",
+        required=True,
+        help="python file exposing TASK or build_task(), optionally path.py:ATTR",
+    )
+    task_vet.add_argument("--samples", type=int, default=200, help="sampling ticks")
+    task_vet.add_argument("--seed", type=int, default=0)
+    task_vet.set_defaults(handler=cmd_task_vet)
+
+    task_describe = task_commands.add_parser(
+        "describe", help="print a task's static description and handlers"
+    )
+    task_describe.add_argument(
+        "--spec",
+        required=True,
+        help="python file exposing TASK or build_task(), optionally path.py:ATTR",
+    )
+    task_describe.set_defaults(handler=cmd_task_describe)
 
     return parser
 

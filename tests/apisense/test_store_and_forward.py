@@ -191,3 +191,128 @@ def make_filler_records(n: int) -> list:
         )
         for i in range(n)
     ]
+
+
+class TestRetryOrdering:
+    """Rejected batches re-buffer *in front of* newer samples."""
+
+    def test_rebuffered_batch_rides_ahead_of_newer_samples(
+        self, small_population, sensor_suite
+    ):
+        """After reject -> retry, the retried upload carries [old batch +
+        samples taken since] in original time order, so the Honeycomb's
+        arrival order per device stays time-sorted."""
+        from repro.apisense.incentives import UserState
+        from repro.store import DatasetStore, IngestPipeline
+
+        sim = Simulator()
+        pipeline = IngestPipeline(
+            sim,
+            DatasetStore(n_shards=1),
+            policy="reject",
+            buffer_capacity=64,
+            flush_delay=5.0,
+        )
+        hive = Hive(sim, pipeline=pipeline, seed=3)
+        device = build_device(small_population, sensor_suite, index=0)
+        hive.register_device(device)
+        honeycomb = Honeycomb("lab", hive)
+        honeycomb.deploy(TASK, recruitment=_Nobody())
+        assert device.offer_task(TASK, acceptance_probability=1.0)
+
+        # Bounce the first upload (t=1800) off a full gateway.
+        hive.community["filler"] = UserState(user="filler", motivation=0.5)
+        filler = make_filler_records(64)
+        sim.schedule_at(
+            1799.0, lambda: hive.receive_upload("dev-f", "filler", "saf", filler)
+        )
+        sim.run_until(TASK.end + 2 * TASK.upload_period)
+
+        stats = device.stats["saf"]
+        assert stats.uploads_rejected == 1
+        # Arrival order at the Honeycomb (per this device) is the order
+        # records were appended: the re-buffered first batch must
+        # precede the second period's samples despite arriving later.
+        mine = [r for r in honeycomb.records("saf") if r.user == device.user]
+        times = [r.time for r in mine]
+        assert times == sorted(times)
+        assert len(mine) == stats.samples_taken > 0
+        # The device buffer itself drained fully.
+        assert device._buffers["saf"] == []
+
+    def test_partial_admission_does_not_double_count_records(
+        self, small_population, sensor_suite
+    ):
+        """Under drop-oldest, a partially-admitted batch bumps
+        ``stats.records`` only by the admitted count: platform counters
+        agree with what the store actually holds."""
+        from repro.apisense.incentives import UserState
+        from repro.store import DatasetStore, IngestPipeline
+
+        sim = Simulator()
+        pipeline = IngestPipeline(
+            sim,
+            DatasetStore(n_shards=1),
+            policy="drop-oldest",
+            buffer_capacity=16,
+            flush_delay=1000.0,  # no flush between the two uploads
+        )
+        hive = Hive(sim, pipeline=pipeline, seed=3)
+        honeycomb = Honeycomb("lab", hive)
+        honeycomb.deploy(TASK, recruitment=_Nobody())
+        hive.community["filler"] = UserState(user="filler", motivation=0.5)
+
+        first = make_filler_records(10)
+        second = [
+            r
+            for r in make_filler_records(22)
+            if r.time >= 10.0  # 12 newer records, distinct times
+        ]
+        accepted_first = hive.receive_upload("dev-f", "filler", "saf", first)
+        accepted_second = hive.receive_upload("dev-f", "filler", "saf", second)
+        assert accepted_first == 10
+        # 12 into 6 free slots: drop-oldest evicts 6 buffered, admits 12.
+        assert accepted_second == 12
+        assert pipeline.stats.dropped == 6
+
+        pipeline.flush_all()
+        task_stats = hive.stats.per_task["saf"]
+        # Counted = admitted (10 + 12), stored = admitted - dropped.
+        assert task_stats.records == accepted_first + accepted_second
+        assert hive.store.n_records == task_stats.records - pipeline.stats.dropped
+        assert honeycomb.n_records("saf") == hive.store.n_records
+
+    def test_oversized_batch_partial_admission_counts_kept_tail(
+        self, small_population, sensor_suite
+    ):
+        """A batch larger than the whole buffer admits only its newest
+        tail; stats.records reflects the kept tail, not the submission."""
+        from repro.apisense.incentives import UserState
+        from repro.store import DatasetStore, IngestPipeline
+
+        sim = Simulator()
+        pipeline = IngestPipeline(
+            sim,
+            DatasetStore(n_shards=1),
+            policy="drop-oldest",
+            buffer_capacity=16,
+            flush_delay=1000.0,
+        )
+        hive = Hive(sim, pipeline=pipeline, seed=3)
+        honeycomb = Honeycomb("lab", hive)
+        honeycomb.deploy(TASK, recruitment=_Nobody())
+        hive.community["filler"] = UserState(user="filler", motivation=0.5)
+
+        batch = make_filler_records(40)
+        accepted = hive.receive_upload("dev-f", "filler", "saf", batch)
+        assert accepted == 16  # newest tail only
+        assert hive.stats.per_task["saf"].records == 16
+        # Partial admission must not pin first_record_time: the shed
+        # records' times are unknown to the platform.
+        assert hive.stats.per_task["saf"].first_record_time is None
+        pipeline.flush_all()
+        assert hive.store.n_records == 16
+        stored_times = sorted(
+            float(t) for t in hive.store.scan("saf").time
+        )
+        assert stored_times == [float(t) for t in range(24, 40)]

@@ -195,3 +195,87 @@ class TestPublish:
         )
         assert code == 0
         assert out.exists()
+
+
+class TestTaskCommands:
+    @pytest.fixture()
+    def good_spec(self, tmp_path):
+        spec = tmp_path / "good_task.py"
+        spec.write_text(
+            "from repro.apisense import SensingTask\n"
+            "\n"
+            "def _setup(ctx):\n"
+            "    ctx.every(60.0, lambda c: c.save({'battery': c.battery.level}))\n"
+            "    ctx.on_battery_below(0.5, lambda c: None)\n"
+            "\n"
+            "TASK = (SensingTask.builder('spec-task')\n"
+            "        .sensors('gps', 'battery')\n"
+            "        .every(60)\n"
+            "        .script(_setup)\n"
+            "        .build())\n"
+        )
+        return spec
+
+    def test_vet_acceptable_spec(self, good_spec, capsys):
+        code = main(["task", "vet", "--spec", str(good_spec)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "dry run of task 'spec-task'" in output
+        assert "ACCEPTABLE" in output
+        assert "timer#0" in output
+
+    def test_vet_rejects_crashing_spec(self, tmp_path, capsys):
+        spec = tmp_path / "bad_task.py"
+        spec.write_text(
+            "from repro.apisense import SensingTask\n"
+            "\n"
+            "def _setup(ctx):\n"
+            "    def bad(c):\n"
+            "        raise RuntimeError('kaput')\n"
+            "    ctx.every(60.0, bad)\n"
+            "\n"
+            "def build_task():\n"
+            "    return (SensingTask.builder('bad-task')\n"
+            "            .sensors('gps').every(60).script(_setup).build())\n"
+        )
+        code = main(["task", "vet", "--spec", str(spec)])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "REJECTED" in output
+        assert "kaput" in output
+
+    def test_describe_lists_handlers(self, good_spec, capsys):
+        code = main(["task", "describe", "--spec", str(good_spec)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "spec-task" in output
+        assert "v2 event script" in output
+        assert "battery_below" in output
+
+    def test_vet_example_spec(self, capsys):
+        from pathlib import Path
+
+        example = Path(__file__).parent.parent / "examples" / "adaptive_scripting.py"
+        code = main(["task", "vet", "--spec", str(example)])
+        assert code == 0
+        assert "ACCEPTABLE" in capsys.readouterr().out
+
+    def test_missing_spec_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["task", "vet", "--spec", str(tmp_path / "nope.py")])
+
+    def test_explicit_attribute(self, good_spec, capsys):
+        code = main(["task", "describe", "--spec", f"{good_spec}:TASK"])
+        assert code == 0
+        assert "spec-task" in capsys.readouterr().out
+
+    def test_legacy_hook_spec_vets(self, tmp_path, capsys):
+        spec = tmp_path / "legacy_task.py"
+        spec.write_text(
+            "from repro.apisense import SensingTask\n"
+            "TASK = SensingTask(name='legacy', sensors=('gps',),\n"
+            "                   script=lambda values: values)\n"
+        )
+        code = main(["task", "vet", "--spec", str(spec)])
+        assert code == 0
+        assert "ACCEPTABLE" in capsys.readouterr().out
