@@ -1,0 +1,175 @@
+"""Federation scale-out: per-hive ingest work vs ring size.
+
+The point of the federation tier is horizontal scale: a fixed crowd
+sharded over more Hives means each Hive's pipeline and store absorb a
+smaller slice of the upload workload.  This bench pushes the same
+2k-device upload workload through a 1/2/4/8-member federation (devices
+placed by the consistent-hash ring, uploads routed by
+``FederationRouter.route_upload``) and reports per-hive flush/ingest
+counts, asserting they shrink monotonically as the ring grows.
+
+It also asserts the federation's correctness invariant: a federated
+query over all member stores returns exactly the single-hive baseline's
+record count — sharding loses nothing, and syndicating the task to
+every member duplicates nothing.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from repro.apisense.device import SensorRecord
+from repro.apisense.hive import Hive
+from repro.apisense.honeycomb import Honeycomb
+from repro.apisense.tasks import SensingTask
+from repro.federation import FederatedDataset, FederationRouter
+from repro.geo.point import GeoPoint
+from repro.simulation import Simulator
+from repro.units import DAY
+
+N_DEVICES = 2000
+UPLOADS_PER_DEVICE = 4
+RECORDS_PER_UPLOAD = 12
+N_RECORDS = N_DEVICES * UPLOADS_PER_DEVICE * RECORDS_PER_UPLOAD
+RING_SIZES = [1, 2, 4, 8]
+TASK_NAME = "federation-bench"
+
+
+@pytest.fixture(scope="module")
+def upload_batches() -> list[tuple[str, str, list[SensorRecord]]]:
+    """The fixed 2k-device upload workload, in arrival order."""
+    batches = []
+    for tick in range(UPLOADS_PER_DEVICE):
+        for d in range(N_DEVICES):
+            device_id = f"dev-{d:04d}"
+            user = f"user-{d:04d}"
+            base = tick * 1800.0
+            batches.append(
+                (
+                    device_id,
+                    user,
+                    [
+                        SensorRecord(
+                            device_id=device_id,
+                            user=user,
+                            task=TASK_NAME,
+                            time=base + 120.0 * i,
+                            values={
+                                "gps": GeoPoint(
+                                    44.8 + 0.0004 * ((d * 7 + i) % 200),
+                                    -0.6 + 0.0004 * ((d * 13 + i) % 200),
+                                ),
+                            },
+                        )
+                        for i in range(RECORDS_PER_UPLOAD)
+                    ],
+                )
+            )
+    return batches
+
+
+def run_federation(batches, n_hives: int):
+    sim = Simulator()
+    router = FederationRouter(sim)
+    for index in range(n_hives):
+        router.join(f"hive-{index}", Hive(sim, seed=index))
+    owner = Honeycomb("bench-lab", router.hive("hive-0"))
+    task = SensingTask(
+        name=TASK_NAME,
+        sensors=("gps",),
+        sampling_period=120.0,
+        upload_period=1800.0,
+        end=DAY,
+    )
+    router.syndicate(task, owner, home="hive-0")
+    now = 0.0
+    for device_id, user, records in batches:
+        now = max(now, records[0].time)
+        sim.run_until(now)
+        router.route_upload(device_id, user, TASK_NAME, records)
+    sim.run()
+    for name in router.member_names:
+        router.hive(name).pipeline.flush_all()
+    return router
+
+
+@pytest.mark.benchmark(group="federation")
+@pytest.mark.parametrize("n_hives", RING_SIZES)
+def test_bench_federation_scaleout(benchmark, upload_batches, n_hives):
+    router = benchmark.pedantic(
+        lambda: run_federation(upload_batches, n_hives), iterations=1, rounds=2
+    )
+    per_hive = {
+        name: router.hive(name).pipeline.stats for name in router.member_names
+    }
+    flushed = [stats.flushed_records for stats in per_hive.values()]
+    flushes = [stats.flushes for stats in per_hive.values()]
+    assert sum(flushed) == N_RECORDS
+
+    # The federated query plane sees the whole crowd exactly once.
+    federated = FederatedDataset.from_router(router)
+    assert len(federated.scan(TASK_NAME)) == N_RECORDS
+    assert federated.aggregate(TASK_NAME).records == N_RECORDS
+    assert federated.aggregate(TASK_NAME).n_users == N_DEVICES
+
+    mean_s = benchmark.stats.stats.mean
+    record_rows(
+        benchmark,
+        [
+            {
+                "hives": n_hives,
+                "records": N_RECORDS,
+                "records_per_sec": int(N_RECORDS / mean_s),
+                "max_hive_ingest": max(flushed),
+                "mean_hive_ingest": int(sum(flushed) / n_hives),
+                "max_hive_flushes": max(flushes),
+            }
+        ],
+        claim="per-hive ingest work shrinks as the ring grows",
+    )
+
+
+@pytest.mark.benchmark(group="federation")
+def test_bench_federation_monotonic_scaledown(benchmark, upload_batches):
+    """Per-hive ingest work decreases monotonically with ring size."""
+
+    def sweep():
+        work = {}
+        for n_hives in RING_SIZES:
+            router = run_federation(upload_batches, n_hives)
+            stats = [
+                router.hive(name).pipeline.stats for name in router.member_names
+            ]
+            work[n_hives] = {
+                "max_ingest": max(s.flushed_records for s in stats),
+                "mean_ingest": sum(s.flushed_records for s in stats) / n_hives,
+                "max_flushes": max(s.flushes for s in stats),
+                "query_records": len(
+                    FederatedDataset.from_router(router).scan(TASK_NAME)
+                ),
+            }
+        return work
+
+    work = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    for smaller, larger in zip(RING_SIZES, RING_SIZES[1:]):
+        assert work[larger]["max_ingest"] < work[smaller]["max_ingest"]
+        assert work[larger]["mean_ingest"] < work[smaller]["mean_ingest"]
+        assert work[larger]["max_flushes"] <= work[smaller]["max_flushes"]
+    # No loss, no duplication at any ring size: every sweep point sees
+    # exactly the single-hive baseline's record count.
+    baseline = work[RING_SIZES[0]]["query_records"]
+    assert baseline == N_RECORDS
+    assert all(point["query_records"] == baseline for point in work.values())
+    record_rows(
+        benchmark,
+        [
+            {
+                "hives": n,
+                "max_hive_ingest": point["max_ingest"],
+                "mean_hive_ingest": int(point["mean_ingest"]),
+                "max_hive_flushes": point["max_flushes"],
+                "query_records": point["query_records"],
+            }
+            for n, point in work.items()
+        ],
+        claim="fixed 2k-device crowd: per-hive ingest shrinks monotonically in ring size",
+    )

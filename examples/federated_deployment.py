@@ -3,21 +3,28 @@
 
 "One of the benefits of building a common platform like APISENSE lies in
 the federation of communities of mobile users" (Section 2).  Two cities
-run their own Hives; a scientist's Honeycomb in city A syndicates its
-task to city B's community as well, and all data flows back to the one
-endpoint.  The operator dashboard (monitoring snapshots) watches both
-Hives mid-campaign.
+run their own Hives, federated through a
+:class:`~repro.federation.FederationRouter`; a scientist's Honeycomb in
+city A syndicates its task to city B's community as well, and all data
+flows back to the one endpoint.  The operator watches the whole
+federation through one :func:`~repro.federation.federation_snapshot`,
+and reads the merged result through one
+:class:`~repro.federation.FederatedDataset` query.
+
+Devices here are registered *directly* on their city's Hive — geographic
+homing is this deployment's placement policy; see
+``examples/federated_scaleout.py`` for ring-placed elastic crowds.
 
 Run:  python examples/federated_deployment.py
 """
 
 import numpy as np
 
-from repro.apisense import Hive, Honeycomb, HiveFederation, SensingTask
+from repro.apisense import Hive, Honeycomb, SensingTask, Transport
 from repro.apisense.battery import Battery, BatteryModel
 from repro.apisense.device import MobileDevice
-from repro.apisense.monitoring import snapshot
 from repro.apisense.sensors import default_sensor_suite
+from repro.federation import FederatedDataset, FederationRouter, federation_snapshot
 from repro.geo.point import GeoPoint
 from repro.mobility import CityConfig, GeneratorConfig, MobilityGenerator
 from repro.simulation import Simulator
@@ -52,12 +59,18 @@ def build_hive(sim: Simulator, name: str, config: CityConfig, seed: int) -> Hive
 
 def main() -> None:
     sim = Simulator()
-    federation = HiveFederation()
+    # Inter-city control traffic rides a lossy wide-area link.
+    router = FederationRouter(
+        sim,
+        control_transport=Transport(
+            latency_mean=0.08, latency_jitter=0.02, loss=0.02, seed=1
+        ),
+    )
     for seed, (name, config) in enumerate(CITIES.items(), start=1):
-        federation.register_hive(name, build_hive(sim, name, config, seed))
-    print(f"federation: {federation.hive_names}, {federation.total_devices()} devices\n")
+        router.join(name, build_hive(sim, name, config, seed))
+    print(f"federation: {router.member_names}, {router.total_devices()} devices\n")
 
-    owner = Honeycomb("mobility-lab", federation.hive("bordeaux"))
+    owner = Honeycomb("mobility-lab", router.hive("bordeaux"))
     task = SensingTask(
         name="multi-city-mobility",
         sensors=("gps",),
@@ -65,22 +78,26 @@ def main() -> None:
         upload_period=1800.0,
         end=2 * DAY,
     )
-    receipt = federation.syndicate(task, owner, home="bordeaux")
+    receipt = router.syndicate(task, owner, home="bordeaux")
     print(
-        f"syndicated {receipt.task!r} from {receipt.home_hive} to "
-        f"{list(receipt.partner_hives)}: {receipt.total_offers} offers\n"
+        f"syndicated {receipt.task!r} from {receipt.home_hive}: "
+        f"{receipt.home_offers} home offers, {receipt.announcements} partner "
+        f"announcements over the control plane\n"
     )
 
-    # Mid-campaign dashboard.
+    # Mid-campaign: the whole federation on one dashboard.
     sim.run_until(12 * HOUR)
-    for name in federation.hive_names:
-        print(snapshot(federation.hive(name), sim.now).to_text())
-        print()
+    print(federation_snapshot(router, sim.now).to_text())
+    print()
 
-    # Finish and inspect the merged dataset.
+    # Finish and inspect the merged dataset — via the legacy record
+    # lists and via the federated columnar query plane.
     sim.run_until(2 * DAY + HOUR)
+    for name in router.member_names:
+        router.hive(name).pipeline.flush_all()
+
     collected = owner.mobility_dataset(task.name)
-    per_city = {}
+    per_city: dict[str, int] = {}
     for user in collected.users:
         city = user.split(":")[0]
         per_city[city] = per_city.get(city, 0) + 1
@@ -88,8 +105,17 @@ def main() -> None:
         f"collected {collected.n_records} records from {len(collected)} users "
         f"across cities: {per_city}"
     )
-    for name, (offers, acceptances, records) in federation.task_stats(task.name).items():
-        print(f"  {name}: offers={offers} accepted={acceptances} records={records}")
+    for name, stats in router.task_stats(task.name).items():
+        print(
+            f"  {name}: offers={stats.offers} accepted={stats.acceptances} "
+            f"records={stats.records}"
+        )
+
+    federated = FederatedDataset.from_router(router)
+    print()
+    print(federated.aggregate(task.name).to_text())
+    day0 = federated.scan(task.name, t0=0.0, t1=DAY)
+    print(f"federated day-0 scan: {len(day0)} records")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,9 @@ Supporting substrates: :mod:`repro.geo` (geodesy), :mod:`repro.mobility`
 (mechanisms, attacks, metrics), :mod:`repro.utility` (analyst tasks),
 :mod:`repro.crypto` (secure aggregation), :mod:`repro.simulation`
 (deterministic event loop), :mod:`repro.store` (sharded ingestion
-pipeline + columnar dataset store behind the Hive).
+pipeline + columnar dataset store behind the Hive), and
+:mod:`repro.federation` (multi-hive scale-out: consistent-hash device
+placement, inter-hive syndication and gossip, federated queries).
 
 Quickstart::
 

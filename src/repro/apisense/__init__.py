@@ -22,7 +22,11 @@ The platform's architecture maps one-to-one onto the paper's Figure 1:
 - :class:`~repro.apisense.virtual_sensor.VirtualSensor` groups devices
   behind retrieval strategies (:mod:`repro.apisense.scheduling`);
 - :mod:`repro.apisense.incentives` implements the four incentive
-  strategies the paper lists.
+  strategies the paper lists;
+- multi-Hive deployments scale out through :mod:`repro.federation`
+  (consistent-hash placement, syndication, federated queries);
+  :class:`~repro.apisense.federation.HiveFederation` remains as a thin
+  legacy facade over it.
 
 Everything runs on the deterministic simulator from
 :mod:`repro.simulation`; see DESIGN.md for the substitution argument.
@@ -89,6 +93,7 @@ from repro.apisense.vetting import DryRunReport, HandlerReport, describe_task, d
 from repro.apisense.recruitment import (
     AllDevices,
     BatteryFloorRecruitment,
+    PredicateRecruitment,
     QuotaRecruitment,
     RecruitmentPolicy,
     RegionRecruitment,
@@ -151,6 +156,7 @@ __all__ = [
     "AllDevices",
     "RegionRecruitment",
     "BatteryFloorRecruitment",
+    "PredicateRecruitment",
     "QuotaRecruitment",
     "SensorCapabilityRecruitment",
     "HiveFederation",

@@ -1,20 +1,29 @@
-"""Hive federation: syndicate tasks across communities.
+"""Legacy federation facade — superseded by :mod:`repro.federation`.
 
-"One of the benefits of building a common platform like APISENSE lies in
-the federation of communities of mobile users" (paper Section 2).  A
-federation groups several Hives (e.g. one per city or per partner
-institution); a task deployed at its home Hive can be *syndicated* to
-partner Hives, whose crowds contribute to the same Honeycomb.
+The original :class:`HiveFederation` syndicated a task across Hives
+sharing one process and nothing more.  The real federation tier now
+lives in :mod:`repro.federation`: consistent-hash device placement,
+membership changes with migration, failure/rejoin injection, gossip over
+the lossy transport, and a federated query plane.  This module keeps the
+old surface working as a thin wrapper over
+:class:`~repro.federation.router.FederationRouter` with an ideal
+(synchronous, lossless) control plane — exactly the semantics the stub
+had — so existing deployments keep running; new code should use the
+router directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.apisense.hive import Hive
 from repro.apisense.honeycomb import Honeycomb
 from repro.apisense.tasks import SensingTask
 from repro.errors import PlatformError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.router import FederationRouter
 
 
 @dataclass(frozen=True)
@@ -28,28 +37,42 @@ class SyndicationReceipt:
 
 
 class HiveFederation:
-    """A named group of Hives that share task syndication."""
+    """A named group of Hives that share task syndication.
+
+    Deprecated facade: delegates to
+    :class:`repro.federation.FederationRouter` (reachable as
+    :attr:`router` for incremental migration).
+    """
 
     def __init__(self) -> None:
-        self._hives: dict[str, Hive] = {}
+        self._router: "FederationRouter | None" = None
+
+    @property
+    def router(self) -> "FederationRouter":
+        """The backing federation router (migration escape hatch)."""
+        if self._router is None:
+            raise PlatformError("federation has no hives yet")
+        return self._router
 
     def register_hive(self, name: str, hive: Hive) -> None:
-        if name in self._hives:
-            raise PlatformError(f"hive {name!r} already federated")
-        self._hives[name] = hive
+        if self._router is None:
+            from repro.federation.router import FederationRouter
+
+            # The legacy facade has no control transport: announcements
+            # are synchronous and lossless, as the old stub behaved.
+            self._router = FederationRouter(hive.sim)
+        self._router.join(name, hive)
 
     @property
     def hive_names(self) -> list[str]:
-        return list(self._hives)
+        return [] if self._router is None else self._router.member_names
 
     def hive(self, name: str) -> Hive:
-        if name not in self._hives:
-            raise PlatformError(f"unknown federated hive {name!r}")
-        return self._hives[name]
+        return self.router.hive(name)
 
     def total_devices(self) -> int:
         """Community size across the whole federation."""
-        return sum(len(hive.devices) for hive in self._hives.values())
+        return 0 if self._router is None else self._router.total_devices()
 
     def syndicate(
         self,
@@ -65,40 +88,27 @@ class HiveFederation:
         regardless of which community produced it.  ``partners`` defaults
         to every other federated Hive.
         """
-        if home not in self._hives:
+        if self._router is None:
             raise PlatformError(f"unknown home hive {home!r}")
-        partner_names = (
-            [name for name in self._hives if name != home]
-            if partners is None
-            else list(partners)
+        receipt = self._router.syndicate(
+            task, owner, home=home, partners=partners, recruitment=recruitment
         )
-        for name in partner_names:
-            if name not in self._hives:
-                raise PlatformError(f"unknown partner hive {name!r}")
-            if name == home:
-                raise PlatformError("home hive listed among partners")
-
-        owner.register_task(task)
-        self._hives[home].publish_task(task, owner=owner, recruitment=recruitment)
-        for name in partner_names:
-            self._hives[name].publish_task(task, owner=owner, recruitment=recruitment)
-
+        # Synchronous control plane: every offer is already counted.
         total_offers = sum(
-            self._hives[name].stats.per_task[task.name].offers
-            for name in [home, *partner_names]
+            stats.offers for stats in self._router.task_stats(task.name).values()
         )
         return SyndicationReceipt(
-            task=task.name,
-            home_hive=home,
-            partner_hives=tuple(partner_names),
+            task=receipt.task,
+            home_hive=receipt.home_hive,
+            partner_hives=receipt.partner_hives,
             total_offers=total_offers,
         )
 
     def task_stats(self, task_name: str) -> dict[str, tuple[int, int, int]]:
         """Per-hive (offers, acceptances, records) for a syndicated task."""
-        stats: dict[str, tuple[int, int, int]] = {}
-        for name, hive in self._hives.items():
-            per_task = hive.stats.per_task.get(task_name)
-            if per_task is not None:
-                stats[name] = (per_task.offers, per_task.acceptances, per_task.records)
-        return stats
+        if self._router is None:
+            return {}
+        return {
+            name: (stats.offers, stats.acceptances, stats.records)
+            for name, stats in self._router.task_stats(task_name).items()
+        }

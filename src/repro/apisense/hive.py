@@ -19,6 +19,7 @@ from repro.apisense.incentives import (
     UserState,
     draw_initial_motivation,
 )
+from repro.apisense.metrics import acceptance_rate
 from repro.apisense.tasks import SensingTask
 from repro.errors import PlatformError
 from repro.simulation import Simulator
@@ -43,7 +44,7 @@ class TaskStats:
 
     @property
     def acceptance_rate(self) -> float:
-        return self.acceptances / self.offers if self.offers else 0.0
+        return acceptance_rate(self.acceptances, self.offers)
 
 
 @dataclass
@@ -104,6 +105,11 @@ class Hive:
         self._task_owner: dict[str, "Honeycomb"] = {}
         self.stats = HiveStats()
 
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this Hive schedules on (federation wiring)."""
+        return self._sim
+
     # ------------------------------------------------------------------
     # Community management
     # ------------------------------------------------------------------
@@ -114,11 +120,38 @@ class Hive:
             raise PlatformError(f"device {device.device_id!r} already registered")
         device.bind(self._sim, self, transport=self.transport)
         self._devices[device.device_id] = device
-        if device.user not in self.community:
-            self.community[device.user] = UserState(
-                user=device.user, motivation=draw_initial_motivation(self._rng)
-            )
+        self._ensure_user(device.user)
         self.stats.devices_registered += 1
+
+    def unregister_device(self, device_id: str) -> MobileDevice:
+        """Remove a device from the community and return it.
+
+        Used by the federation tier when re-homing a device onto another
+        Hive (membership change, hive failure).  The user's community
+        state stays behind — another of the user's devices may remain —
+        and the device keeps its running tasks and buffered data; only
+        the binding moves.
+        """
+        if device_id not in self._devices:
+            raise PlatformError(f"unknown device {device_id!r}")
+        return self._devices.pop(device_id)
+
+    def adopt_user_state(self, state: UserState) -> None:
+        """Install a migrated user's state (federation re-homing).
+
+        A no-op when the user is already part of this community: the
+        local history wins over the carried copy.
+        """
+        if state.user not in self.community:
+            self.community[state.user] = state
+
+    def _ensure_user(self, user: str) -> UserState:
+        state = self.community.get(user)
+        if state is None:
+            state = self.community[user] = UserState(
+                user=user, motivation=draw_initial_motivation(self._rng)
+            )
+        return state
 
     @property
     def devices(self) -> list[MobileDevice]:
@@ -147,19 +180,45 @@ class Hive:
         acceptance is decided device-side against the incentive-driven
         probability.
         """
+        self.adopt_task(task, owner)
+        self.offer_task(task.name, recruitment=recruitment)
+
+    def adopt_task(self, task: SensingTask, owner: "Honeycomb") -> None:
+        """Admit a task for routing without offering it to anyone.
+
+        The federation tier adopts every syndicated task at every member
+        Hive so a device re-homed mid-campaign can keep uploading; only
+        the Hives the task was actually *published* at send offers.
+        """
         if task.name in self._tasks:
             raise PlatformError(f"task {task.name!r} already published")
         self._tasks[task.name] = task
         self._task_owner[task.name] = owner
         self.stats.tasks_published += 1
-        stats = self.stats.per_task.setdefault(task.name, TaskStats())
+        self.stats.per_task.setdefault(task.name, TaskStats())
+
+    def offer_task(self, task_name: str, recruitment=None) -> int:
+        """Offer an admitted task to the recruited devices.
+
+        Returns the number of offers sent.  Callable more than once (a
+        rejoined federation member re-offers to devices homed back onto
+        it); devices already running the task decline duplicate offers.
+        """
+        task = self._tasks.get(task_name)
+        if task is None:
+            raise PlatformError(f"cannot offer unknown task {task_name!r}")
+        stats = self.stats.per_task[task_name]
         recruited = list(self._devices.values())
         if recruitment is not None:
             recruited = recruitment.select(recruited, task, self._sim.now, self._rng)
+        offers = 0
         for device in recruited:
+            if task.name in device.running_tasks:
+                continue
             state = self.community[device.user]
             probability = self.incentive.acceptance_probability(state)
             stats.offers += 1
+            offers += 1
             self.stats.messages_sent += 1
             # Lost offers are simply never delivered; the daily
             # participation pass re-offers tasks to lapsed users.
@@ -167,10 +226,15 @@ class Hive:
                 self._sim,
                 lambda d=device, p=probability: self._deliver_offer(task, d, p),
             )
+        return offers
 
     def _deliver_offer(
         self, task: SensingTask, device: MobileDevice, probability: float
     ) -> None:
+        if task.name in device.running_tasks:
+            # A duplicate offer can race a federation re-offer with a
+            # device that migrated in already running the task.
+            return
         accepted = device.offer_task(task, probability)
         if accepted:
             self.stats.per_task[task.name].acceptances += 1
@@ -208,7 +272,9 @@ class Hive:
             # here and must not be recorded as collected.
             stats.first_record_time = min(r.time for r in records)
 
-        state = self.community[user]
+        # A migrated device's first upload can land before (or without)
+        # its user state: enrol the user on first contact.
+        state = self._ensure_user(user)
         self.incentive.on_contribution(state, accepted)
         return accepted
 

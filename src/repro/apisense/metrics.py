@@ -1,0 +1,14 @@
+"""Shared metric definitions used by more than one dashboard.
+
+The Hive's per-task statistics and the monitoring layer's health
+snapshots both report an acceptance rate; defining the ratio once here
+keeps the two dashboards (and any future federation roll-up) from
+drifting apart on edge cases like zero offers.
+"""
+
+from __future__ import annotations
+
+
+def acceptance_rate(acceptances: int, offers: int) -> float:
+    """Fraction of task offers that were accepted (0.0 when none sent)."""
+    return acceptances / offers if offers else 0.0

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.apisense.hive import Hive
+from repro.apisense.metrics import acceptance_rate
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,7 @@ class TaskHealth:
 
     @property
     def acceptance_rate(self) -> float:
-        return self.acceptances / self.offers if self.offers else 0.0
+        return acceptance_rate(self.acceptances, self.offers)
 
 
 @dataclass(frozen=True)
@@ -51,11 +52,19 @@ class PlatformHealthReport:
     pipeline_flushes: int = 0
     pipeline_buffered: int = 0
     pipeline_backlog: int = 0
+    #: Backpressure counters: records shed (dropped/rejected) or parked
+    #: (spilled) by the ingest gateway since the campaign started.
     pipeline_dropped: int = 0
     pipeline_rejected: int = 0
+    pipeline_spilled: int = 0
     mean_flush_batch: float = 0.0
     ingest_lag_p95: float = 0.0
     tasks: tuple[TaskHealth, ...] = field(default_factory=tuple)
+
+    @property
+    def pipeline_shed(self) -> int:
+        """Records lost to backpressure (dropped + rejected)."""
+        return self.pipeline_dropped + self.pipeline_rejected
 
     def to_text(self) -> str:
         lines = [
@@ -71,9 +80,11 @@ class PlatformHealthReport:
             f"segments / {self.store_shards} shards",
             f"  ingest: {self.pipeline_flushes} flushes "
             f"(mean batch {self.mean_flush_batch:.1f}), "
-            f"{self.pipeline_buffered} buffered, {self.pipeline_backlog} spilled, "
-            f"{self.pipeline_dropped} dropped, {self.pipeline_rejected} rejected, "
+            f"{self.pipeline_buffered} buffered, {self.pipeline_backlog} spill backlog, "
             f"lag p95 {self.ingest_lag_p95:.1f}s",
+            f"  backpressure: {self.pipeline_dropped} dropped, "
+            f"{self.pipeline_rejected} rejected, {self.pipeline_spilled} spilled "
+            f"({self.pipeline_shed} records shed)",
         ]
         for task in self.tasks:
             lines.append(
@@ -121,6 +132,7 @@ def snapshot(hive: Hive, time: float, low_battery: float = 0.2, at_risk: float =
         pipeline_backlog=pipeline.backlog,
         pipeline_dropped=pipeline.stats.dropped,
         pipeline_rejected=pipeline.stats.rejected,
+        pipeline_spilled=pipeline.stats.spilled,
         mean_flush_batch=pipeline.stats.mean_flush_batch,
         ingest_lag_p95=lag_p95,
         tasks=tasks,

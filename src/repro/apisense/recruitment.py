@@ -114,6 +114,27 @@ class QuotaRecruitment(RecruitmentPolicy):
         return [devices[int(i)] for i in sorted(chosen)]
 
 
+class PredicateRecruitment(RecruitmentPolicy):
+    """Offer only to devices matching an arbitrary predicate.
+
+    The extension point for selection criteria that live outside the
+    device itself — above all federation placement:
+    :meth:`repro.federation.FederationRouter.placement_recruitment`
+    builds one that keeps a member Hive from offering to devices the
+    ring homes elsewhere (e.g. during a registration handover race).
+    """
+
+    name = "predicate"
+
+    def __init__(self, predicate, name: str | None = None):
+        self._predicate = predicate
+        if name is not None:
+            self.name = name
+
+    def select(self, devices, task, time, rng):
+        return [d for d in devices if self._predicate(d, time)]
+
+
 class SensorCapabilityRecruitment(RecruitmentPolicy):
     """Offer only to devices that have (and whose users share) the
     requested sensors — saves offers that would be declined anyway."""

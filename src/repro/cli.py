@@ -14,10 +14,16 @@ plus the server-side storage operations, grouped under ``store``::
     python -m repro store query   --input raw.csv --t0 0 --t1 86400 --out day0.csv
     python -m repro store compact --input raw.csv --segment-capacity 512
 
-and the task-lifecycle operations, grouped under ``task``::
+the task-lifecycle operations, grouped under ``task``::
 
     python -m repro task vet      --spec examples/adaptive_scripting.py
     python -m repro task describe --spec my_experiment.py:TASK
+
+and the multi-hive scale-out operations, grouped under ``federation``::
+
+    python -m repro federation run   --users 40 --days 2 --hives 3
+    python -m repro federation stats --devices 2000 --hives 4
+    python -m repro federation query --input raw.csv --hives 4 --t0 0 --t1 86400
 
 Dataset commands work on the ``user,time,lat,lon`` CSV format of
 :meth:`repro.mobility.dataset.MobilityDataset.to_csv`; ``task`` commands
@@ -332,6 +338,172 @@ def cmd_store_compact(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# ``federation`` subcommands (multi-hive scale-out, repro.federation)
+# ----------------------------------------------------------------------
+
+
+def cmd_federation_run(args: argparse.Namespace) -> int:
+    """Run a federated campaign: one crowd sharded across N Hives."""
+    from repro.apisense.battery import Battery, BatteryModel
+    from repro.apisense.device import MobileDevice
+    from repro.apisense.hive import Hive
+    from repro.apisense.honeycomb import Honeycomb
+    from repro.apisense.sensors import default_sensor_suite
+    from repro.apisense.tasks import SensingTask
+    from repro.apisense.transport import Transport
+    from repro.federation import FederatedDataset, FederationRouter, federation_snapshot
+    from repro.mobility import GeneratorConfig, MobilityGenerator
+    from repro.simulation import Simulator
+    from repro.units import DAY, HOUR
+
+    import numpy as np
+
+    population = MobilityGenerator(
+        GeneratorConfig(n_users=args.users, n_days=args.days, sampling_period=300.0)
+    ).generate(seed=args.seed)
+    sim = Simulator()
+    router = FederationRouter(
+        sim,
+        control_transport=Transport(
+            latency_mean=0.05, latency_jitter=0.01, loss=args.control_loss, seed=args.seed
+        ),
+    )
+    for index in range(args.hives):
+        router.join(f"hive-{index}", Hive(sim, seed=args.seed + index))
+
+    rng = np.random.default_rng(args.seed)
+    suite = default_sensor_suite(population.city, rng)
+    for index, trajectory in enumerate(population.dataset):
+        router.register_device(
+            MobileDevice(
+                device_id=f"device-{index:04d}",
+                user=trajectory.user,
+                trajectory=trajectory,
+                sensors=suite,
+                battery=Battery(BatteryModel(), level=float(rng.uniform(0.5, 1.0))),
+                seed=args.seed * 100_003 + index,
+            )
+        )
+
+    if args.fail_hive:
+        router.schedule_failure(
+            args.fail_hive,
+            at=args.fail_at_hours * HOUR,
+            duration=args.fail_for_hours * HOUR if args.fail_for_hours else None,
+        )
+
+    owner = Honeycomb("federation-cli", router.hive("hive-0"))
+    task = SensingTask(
+        name="federated-campaign",
+        sensors=("gps", "battery"),
+        sampling_period=args.period,
+        upload_period=1800.0,
+        end=args.days * DAY,
+    )
+    receipt = router.syndicate(task, owner, home="hive-0")
+    print(
+        f"syndicated {receipt.task!r}: {receipt.home_offers} home offers, "
+        f"{receipt.announcements} partner announcements"
+    )
+
+    sim.run_until(args.days * DAY + HOUR)
+    for name in router.member_names:
+        router.hive(name).pipeline.flush_all()
+
+    print()
+    print(federation_snapshot(router, sim.now).to_text())
+    print()
+    federated = FederatedDataset.from_router(router)
+    print(federated.aggregate(task.name).to_text())
+    return 0
+
+
+def cmd_federation_stats(args: argparse.Namespace) -> int:
+    """Placement analysis: balance and join-stability of the ring."""
+    from repro.federation import ConsistentHashRing
+
+    ring = ConsistentHashRing(replicas=args.replicas)
+    for index in range(args.hives):
+        ring.add(f"hive-{index}")
+    keys = [f"device-{i:06d}" for i in range(args.devices)]
+    spread = ring.spread(keys)
+    mean = args.devices / args.hives
+    print(
+        f"ring: {args.hives} hives x {args.replicas} vnodes, "
+        f"{args.devices} devices, mean {mean:.0f}/hive"
+    )
+    for name in sorted(spread):
+        count = spread[name]
+        print(f"  {name}: {count} devices ({count / mean:.2f}x mean)")
+
+    grown = ConsistentHashRing(replicas=args.replicas)
+    for index in range(args.hives + 1):
+        grown.add(f"hive-{index}")
+    diff = ring.diff(keys, grown)
+    print(
+        f"adding hive-{args.hives} re-homes {diff.n_moved} devices "
+        f"({diff.n_moved / args.devices:.1%}; ideal 1/{args.hives + 1} = "
+        f"{1 / (args.hives + 1):.1%}), all onto the new member: "
+        f"{all(new == f'hive-{args.hives}' for _, new in diff.moved.values())}"
+    )
+    return 0
+
+
+def cmd_federation_query(args: argparse.Namespace) -> int:
+    """Shard a CSV across member stores via the ring, query federated."""
+    from repro.apisense.device import SensorRecord
+    from repro.federation import ConsistentHashRing, FederatedDataset
+    from repro.store import DatasetStore
+
+    dataset = MobilityDataset.from_csv(args.input)
+    ring = ConsistentHashRing()
+    stores = {}
+    for index in range(args.hives):
+        name = f"hive-{index}"
+        ring.add(name)
+        stores[name] = DatasetStore(
+            n_shards=args.shards, segment_capacity=args.segment_capacity
+        )
+    by_member: dict[str, list[SensorRecord]] = {name: [] for name in stores}
+    for user, record in dataset.all_records():
+        by_member[ring.place(f"csv:{user}")].append(
+            SensorRecord(
+                device_id=f"csv:{user}",
+                user=user,
+                task=args.task_name,
+                time=record.time,
+                values={"gps": record.point},
+            )
+        )
+    for name, records in by_member.items():
+        stores[name].append(sorted(records, key=lambda r: r.time))
+
+    federated = FederatedDataset(stores)
+    bbox = tuple(args.bbox) if args.bbox else None
+    batch = federated.scan(
+        args.task_name, t0=args.t0, t1=args.t1, bbox=bbox, user=args.user
+    )
+    users = sorted(set(batch.user_names()))
+    print(
+        f"federated query over {args.hives} hives matched {len(batch)} records "
+        f"from {len(users)} users"
+    )
+    for name in federated.member_names:
+        print(f"  {name}: {stores[name].n_records} records stored")
+    if len(batch):
+        print(f"  time span [{batch.time.min():.0f}, {batch.time.max():.0f}]s")
+    if args.out:
+        import csv
+
+        with open(args.out, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["user", "time", "lat", "lon", "value"])
+            writer.writerows(batch.rows())
+        print(f"wrote {len(batch)} rows to {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # ``task`` subcommands (task lifecycle: vet / describe a spec)
 # ----------------------------------------------------------------------
 
@@ -526,6 +698,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_common(store_compact)
     store_compact.set_defaults(handler=cmd_store_compact)
+
+    federation = commands.add_parser(
+        "federation", help="multi-hive scale-out operations (repro.federation)"
+    )
+    federation_commands = federation.add_subparsers(
+        dest="federation_command",
+        title="federation subcommands",
+        required=True,
+    )
+
+    federation_run = federation_commands.add_parser(
+        "run", help="run a federated campaign sharded across N hives"
+    )
+    federation_run.add_argument("--users", type=int, default=24)
+    federation_run.add_argument("--days", type=int, default=1)
+    federation_run.add_argument("--hives", type=int, default=3)
+    federation_run.add_argument("--period", type=float, default=600.0)
+    federation_run.add_argument(
+        "--control-loss", type=float, default=0.0, help="inter-hive gossip loss prob"
+    )
+    federation_run.add_argument("--fail-hive", help="inject a failure of this member")
+    federation_run.add_argument(
+        "--fail-at-hours", type=float, default=6.0, help="outage start (hours)"
+    )
+    federation_run.add_argument(
+        "--fail-for-hours", type=float, default=6.0, help="outage length (0 = forever)"
+    )
+    federation_run.add_argument("--seed", type=int, default=0)
+    federation_run.set_defaults(handler=cmd_federation_run)
+
+    federation_stats = federation_commands.add_parser(
+        "stats", help="consistent-hash placement balance and join stability"
+    )
+    federation_stats.add_argument("--devices", type=int, default=2000)
+    federation_stats.add_argument("--hives", type=int, default=4)
+    federation_stats.add_argument("--replicas", type=int, default=128)
+    federation_stats.set_defaults(handler=cmd_federation_stats)
+
+    federation_query = federation_commands.add_parser(
+        "query", help="shard a CSV across member stores, query federated"
+    )
+    federation_query.add_argument("--input", required=True, help="mobility CSV to shard")
+    federation_query.add_argument("--task-name", default="ingested", help="task label")
+    federation_query.add_argument("--hives", type=int, default=4)
+    federation_query.add_argument("--shards", type=int, default=4)
+    federation_query.add_argument("--segment-capacity", type=int, default=4096)
+    federation_query.add_argument("--t0", type=float, help="inclusive start time (s)")
+    federation_query.add_argument("--t1", type=float, help="exclusive end time (s)")
+    federation_query.add_argument(
+        "--bbox",
+        type=float,
+        nargs=4,
+        metavar=("SOUTH", "WEST", "NORTH", "EAST"),
+        help="spatial filter in decimal degrees",
+    )
+    federation_query.add_argument("--user", help="restrict to one user")
+    federation_query.add_argument("--out", help="write matching rows as CSV")
+    federation_query.set_defaults(handler=cmd_federation_query)
 
     task = commands.add_parser(
         "task", help="task lifecycle operations (vet / describe a task spec)"

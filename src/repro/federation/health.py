@@ -1,0 +1,113 @@
+"""Federation-wide health: every member dashboard in one report.
+
+A federation operator watches N Hives at once; this rolls the per-member
+:class:`~repro.apisense.monitoring.PlatformHealthReport` snapshots up
+into one :class:`FederationHealthReport` with the federation-level
+signals on top: membership (who is up, who is down), placement balance
+across the ring, migration churn, and control-plane quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.apisense.monitoring import PlatformHealthReport, snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.router import FederationRouter
+
+
+@dataclass(frozen=True)
+class MemberHealth:
+    """One member's slice of the federation dashboard."""
+
+    name: str
+    up: bool
+    devices: int
+    report: PlatformHealthReport
+
+
+@dataclass(frozen=True)
+class FederationHealthReport:
+    """One federation-wide dashboard snapshot."""
+
+    time: float
+    n_members: int
+    up_members: tuple[str, ...]
+    down_members: tuple[str, ...]
+    total_devices: int
+    #: Placement balance over *live* members: max/mean devices per hive
+    #: (1.0 is perfect; consistent hashing lands near it with enough
+    #: virtual nodes).
+    placement_imbalance: float
+    migrations: int
+    control_messages: int
+    control_loss_rate: float
+    total_records: int
+    total_shed: int
+    members: tuple[MemberHealth, ...] = field(default_factory=tuple)
+
+    def member(self, name: str) -> MemberHealth:
+        for member in self.members:
+            if member.name == name:
+                return member
+        raise KeyError(name)
+
+    def to_text(self) -> str:
+        lines = [
+            f"federation health @ t={self.time:.0f}s",
+            f"  members: {self.n_members} "
+            f"({len(self.up_members)} up, {len(self.down_members)} down"
+            + (f": {', '.join(self.down_members)}" if self.down_members else "")
+            + ")",
+            f"  crowd: {self.total_devices} devices, placement imbalance "
+            f"{self.placement_imbalance:.2f}, {self.migrations} migrations",
+            f"  control plane: {self.control_messages} messages, "
+            f"{self.control_loss_rate:.1%} loss",
+            f"  data: {self.total_records} stored records, "
+            f"{self.total_shed} shed by backpressure",
+        ]
+        for member in self.members:
+            state = "up" if member.up else "DOWN"
+            report = member.report
+            lines.append(
+                f"  hive {member.name} [{state}]: {member.devices} devices, "
+                f"{report.store_records} records, "
+                f"{report.pipeline_flushes} flushes, "
+                f"{report.pipeline_shed} shed, "
+                f"motivation {report.mean_motivation:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def federation_snapshot(router: "FederationRouter", time: float) -> FederationHealthReport:
+    """Take a health snapshot of the whole federation at ``time``."""
+    members = []
+    for name in router.member_names:
+        hive = router.hive(name)
+        members.append(
+            MemberHealth(
+                name=name,
+                up=router.is_up(name),
+                devices=len(hive.devices),
+                report=snapshot(hive, time),
+            )
+        )
+    live_counts = [m.devices for m in members if m.up]
+    mean_live = sum(live_counts) / len(live_counts) if live_counts else 0.0
+    imbalance = max(live_counts) / mean_live if live_counts and mean_live else 0.0
+    return FederationHealthReport(
+        time=time,
+        n_members=len(members),
+        up_members=tuple(router.up_members),
+        down_members=tuple(router.down_members),
+        total_devices=sum(m.devices for m in members),
+        placement_imbalance=imbalance,
+        migrations=len(router.migration_log),
+        control_messages=router.stats.messages_sent,
+        control_loss_rate=router.stats.loss_rate,
+        total_records=sum(m.report.store_records for m in members),
+        total_shed=sum(m.report.pipeline_shed for m in members),
+        members=tuple(members),
+    )

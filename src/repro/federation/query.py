@@ -1,0 +1,244 @@
+"""The federated query plane: one view over every member's store.
+
+Data collected by a federated crowd never congregates in one store —
+each member Hive's :class:`~repro.store.DatasetStore` holds its shard of
+the crowd's records.  :class:`FederatedDataset` gives readers back the
+single-store API: a :meth:`~FederatedDataset.scan` fans the filtered
+columnar scan out across every member store and merges the results
+(re-interning user ids into one shared table), and
+:meth:`~FederatedDataset.aggregate` folds the members' streaming
+aggregates into one :class:`FederatedTaskAggregate`.
+
+Because placement homes each device on exactly one member, the same
+record is never stored twice — merged counts equal what a single
+monolithic Hive would have collected, which is the federation's no-loss
+/ no-duplication invariant (asserted by ``benchmarks/
+test_bench_federation.py``).
+
+Percentile caveat: P² sketches do not compose exactly, so the federated
+``lag_p95``/``lag_p99`` are the *worst member's* values — a conservative
+SLA bound — while means and counts merge exactly.  Per-member sketches
+stay readable via :attr:`FederatedTaskAggregate.per_member`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.store.aggregates import TaskAggregate
+from repro.store.dataset_store import ColumnarBatch, DatasetStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.router import FederationRouter
+
+
+@dataclass(frozen=True)
+class FederatedTaskAggregate:
+    """Streaming aggregates of one task, merged across members."""
+
+    task: str
+    records: int
+    gps_records: int
+    users: frozenset[str]
+    coverage_cells: int
+    first_time: float | None
+    last_time: float | None
+    lag_mean: float
+    lag_max: float
+    #: Conservative federation-wide percentiles: the worst member's view.
+    lag_p50: float
+    lag_p95: float
+    lag_p99: float
+    per_member: Mapping[str, TaskAggregate] = field(default_factory=dict)
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    def to_text(self) -> str:
+        lines = [
+            f"federated task {self.task}: {self.records} records from "
+            f"{self.n_users} users across {len(self.per_member)} hives, "
+            f"{self.coverage_cells} coverage cells, "
+            f"lag mean {self.lag_mean:.1f}s / worst p95 {self.lag_p95:.1f}s"
+        ]
+        for name in sorted(self.per_member):
+            member = self.per_member[name]
+            lines.append(
+                f"  {name}: {member.records} records, {member.n_users} users, "
+                f"{member.coverage_cells} cells, p95 {member.lag_p95:.1f}s"
+            )
+        return "\n".join(lines)
+
+
+class FederatedDataset:
+    """Read-side federation: scans and aggregates over member stores."""
+
+    def __init__(self, stores: Mapping[str, DatasetStore]):
+        if not stores:
+            raise StoreError("federated dataset needs at least one member store")
+        self._stores = dict(stores)
+
+    @classmethod
+    def from_router(cls, router: "FederationRouter") -> "FederatedDataset":
+        """The query view of a federation's current members.
+
+        Down members are included: their stores are durable and the
+        query plane reads storage, not processes.
+        """
+        return cls({name: router.hive(name).store for name in router.member_names})
+
+    @property
+    def member_names(self) -> list[str]:
+        return sorted(self._stores)
+
+    def store(self, name: str) -> DatasetStore:
+        if name not in self._stores:
+            raise StoreError(f"unknown federation member {name!r}")
+        return self._stores[name]
+
+    @property
+    def tasks(self) -> list[str]:
+        names: dict[str, None] = {}
+        for store in self._stores.values():
+            for task in store.tasks:
+                names.setdefault(task, None)
+        return list(names)
+
+    @property
+    def n_records(self) -> int:
+        return sum(store.n_records for store in self._stores.values())
+
+    # ------------------------------------------------------------------
+    # Scan path
+    # ------------------------------------------------------------------
+
+    def scan(
+        self,
+        task: str,
+        t0: float | None = None,
+        t1: float | None = None,
+        bbox=None,
+        user: str | None = None,
+    ) -> ColumnarBatch:
+        """Fan a filtered columnar scan out and merge the results.
+
+        Same filter semantics as :meth:`DatasetStore.scan`; the merged
+        batch re-interns user ids into one federation-wide table (each
+        member numbers its users independently).
+        """
+        merged_users: dict[str, int] = {}
+        pieces: list[tuple[np.ndarray, ...]] = []
+        for name in sorted(self._stores):
+            batch = self._stores[name].scan(task, t0=t0, t1=t1, bbox=bbox, user=user)
+            if not len(batch):
+                continue
+            remap = np.array(
+                [
+                    merged_users.setdefault(member_user, len(merged_users))
+                    for member_user in batch.user_table
+                ],
+                dtype=np.int64,
+            )
+            pieces.append(
+                (batch.time, batch.lat, batch.lon, batch.value, remap[batch.user_id])
+            )
+        if not pieces:
+            empty = np.empty(0, dtype=np.float64)
+            return ColumnarBatch(
+                time=empty,
+                lat=empty,
+                lon=empty,
+                value=empty,
+                user_id=np.empty(0, dtype=np.int64),
+                user_table=tuple(merged_users),
+            )
+        return ColumnarBatch(
+            time=np.concatenate([p[0] for p in pieces]),
+            lat=np.concatenate([p[1] for p in pieces]),
+            lon=np.concatenate([p[2] for p in pieces]),
+            value=np.concatenate([p[3] for p in pieces]),
+            user_id=np.concatenate([p[4] for p in pieces]),
+            user_table=tuple(merged_users),
+        )
+
+    def scan_time(self, task: str, t0: float, t1: float) -> ColumnarBatch:
+        return self.scan(task, t0=t0, t1=t1)
+
+    def scan_bbox(self, task: str, bbox) -> ColumnarBatch:
+        return self.scan(task, bbox=bbox)
+
+    def scan_user(self, task: str, user: str) -> ColumnarBatch:
+        return self.scan(task, user=user)
+
+    # ------------------------------------------------------------------
+    # Aggregate path
+    # ------------------------------------------------------------------
+
+    def aggregate(self, task: str) -> FederatedTaskAggregate:
+        """Merge the members' streaming aggregates for one task.
+
+        Counts, user sets, coverage cells, time bounds and lag means
+        merge exactly; percentiles are the worst member's (see module
+        docstring).  Raises :class:`StoreError` when no member has data
+        for the task.
+        """
+        per_member: dict[str, TaskAggregate] = {}
+        cell_degs: set[float] = set()
+        for name, store in self._stores.items():
+            aggregate = store.aggregates.get(task)
+            if aggregate is not None:
+                per_member[name] = aggregate
+                cell_degs.add(aggregate.cell_deg)
+        if not per_member:
+            raise StoreError(f"no aggregates for unknown task {task!r}")
+        if len(cell_degs) > 1:
+            raise StoreError(
+                f"members disagree on coverage cell size for {task!r}: "
+                f"{sorted(cell_degs)}; coverage cells cannot be merged"
+            )
+
+        users: set[str] = set()
+        cells: set[tuple[int, int]] = set()
+        first_time: float | None = None
+        last_time: float | None = None
+        lag_sum = 0.0
+        lag_count = 0
+        for name, aggregate in per_member.items():
+            table = self._stores[name].users
+            users.update(table[uid] for uid in aggregate.user_ids)
+            cells.update(aggregate.cells)
+            if aggregate.first_time is not None:
+                first_time = (
+                    aggregate.first_time
+                    if first_time is None
+                    else min(first_time, aggregate.first_time)
+                )
+            if aggregate.last_time is not None:
+                last_time = (
+                    aggregate.last_time
+                    if last_time is None
+                    else max(last_time, aggregate.last_time)
+                )
+            lag_sum += aggregate.lag_sum
+            lag_count += aggregate.lag_count
+
+        return FederatedTaskAggregate(
+            task=task,
+            records=sum(a.records for a in per_member.values()),
+            gps_records=sum(a.gps_records for a in per_member.values()),
+            users=frozenset(users),
+            coverage_cells=len(cells),
+            first_time=first_time,
+            last_time=last_time,
+            lag_mean=lag_sum / lag_count if lag_count else 0.0,
+            lag_max=max(a.lag_max for a in per_member.values()),
+            lag_p50=max(a.lag_p50 for a in per_member.values()),
+            lag_p95=max(a.lag_p95 for a in per_member.values()),
+            lag_p99=max(a.lag_p99 for a in per_member.values()),
+            per_member=per_member,
+        )

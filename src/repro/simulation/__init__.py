@@ -7,5 +7,6 @@ identical seeds yield identical campaigns.
 """
 
 from repro.simulation.engine import Simulator, CancelToken
+from repro.simulation.faults import FaultEvent, FaultInjector
 
-__all__ = ["Simulator", "CancelToken"]
+__all__ = ["Simulator", "CancelToken", "FaultInjector", "FaultEvent"]

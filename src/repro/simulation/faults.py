@@ -1,0 +1,88 @@
+"""Fault injection: scheduled component outages on the event loop.
+
+Scale-out work needs failure *scenarios*, not just failure handling: a
+federation member crashing mid-campaign, a gateway going dark for an
+hour, a backend flapping.  The :class:`FaultInjector` scripts those as
+ordinary simulator events — a named component goes down at a time, comes
+back after a duration — and keeps an auditable log, so experiments can
+assert on what failed when.
+
+The injector is deliberately mechanism-agnostic: it fires the callbacks
+it is given and records the transitions; what "down" means (re-homing
+devices, refusing uploads, dropping gossip) is the calling subsystem's
+business — see :meth:`repro.federation.FederationRouter.schedule_failure`
+for the flagship user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simulation.engine import CancelToken, Simulator
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One logged transition of one component."""
+
+    time: float
+    component: str
+    kind: str  # "down" | "up"
+
+
+class FaultInjector:
+    """Schedules scripted outages of named components."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self.log: list[FaultEvent] = []
+        self._down: set[str] = set()
+
+    @property
+    def down_components(self) -> list[str]:
+        """Components currently down (sorted for determinism)."""
+        return sorted(self._down)
+
+    def is_down(self, component: str) -> bool:
+        return component in self._down
+
+    def schedule_outage(
+        self,
+        component: str,
+        at: float,
+        duration: float | None = None,
+        on_down: Callable[[], None] | None = None,
+        on_up: Callable[[], None] | None = None,
+    ) -> tuple[CancelToken, CancelToken | None]:
+        """Take ``component`` down at ``at``; bring it back after ``duration``.
+
+        ``duration=None`` is a permanent outage.  Returns the cancel
+        tokens of the down event and (when scheduled) the recovery
+        event, so a scenario can be revoked before it fires.
+        """
+        if duration is not None and duration <= 0:
+            raise SimulationError(f"outage duration must be positive: {duration}")
+
+        def go_down() -> None:
+            if component in self._down:
+                return  # overlapping scripts: already down, nothing to do
+            self._down.add(component)
+            self.log.append(FaultEvent(self._sim.now, component, "down"))
+            if on_down is not None:
+                on_down()
+
+        def come_up() -> None:
+            if component not in self._down:
+                return
+            self._down.discard(component)
+            self.log.append(FaultEvent(self._sim.now, component, "up"))
+            if on_up is not None:
+                on_up()
+
+        down_token = self._sim.schedule_at(at, go_down)
+        up_token = None
+        if duration is not None:
+            up_token = self._sim.schedule_at(at + duration, come_up)
+        return down_token, up_token

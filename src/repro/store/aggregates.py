@@ -46,6 +46,16 @@ class TaskAggregate:
         return len(self._user_ids)
 
     @property
+    def user_ids(self) -> frozenset[int]:
+        """Contributing users as store-local interned ids.
+
+        Local ids are only meaningful against the owning store's user
+        table; cross-store consumers (the federated query plane) resolve
+        them through :attr:`DatasetStore.users` before merging.
+        """
+        return frozenset(self._user_ids)
+
+    @property
     def coverage_cells(self) -> int:
         """Distinct spatial cells (``cell_deg`` degrees) with a GPS fix."""
         return len(self._cells)

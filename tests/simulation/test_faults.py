@@ -1,0 +1,69 @@
+"""FaultInjector: scripted outages on the event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import FaultEvent, FaultInjector, Simulator
+
+
+class TestFaultInjector:
+    def test_outage_and_recovery_fire_in_order(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        transitions = []
+        injector.schedule_outage(
+            "backend",
+            at=10.0,
+            duration=5.0,
+            on_down=lambda: transitions.append(("down", sim.now)),
+            on_up=lambda: transitions.append(("up", sim.now)),
+        )
+        sim.run_until(9.0)
+        assert not injector.is_down("backend")
+        sim.run_until(12.0)
+        assert injector.is_down("backend")
+        assert injector.down_components == ["backend"]
+        sim.run_until(20.0)
+        assert not injector.is_down("backend")
+        assert transitions == [("down", 10.0), ("up", 15.0)]
+        assert injector.log == [
+            FaultEvent(10.0, "backend", "down"),
+            FaultEvent(15.0, "backend", "up"),
+        ]
+
+    def test_permanent_outage(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        injector.schedule_outage("backend", at=1.0)
+        sim.run()
+        assert injector.is_down("backend")
+        assert [event.kind for event in injector.log] == ["down"]
+
+    def test_cancel_tokens_revoke_the_script(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        down_token, up_token = injector.schedule_outage("backend", at=1.0, duration=1.0)
+        down_token.cancel()
+        up_token.cancel()
+        sim.run()
+        assert injector.log == []
+
+    def test_overlapping_scripts_do_not_double_fire(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        fired = []
+        injector.schedule_outage(
+            "backend", at=1.0, duration=10.0, on_down=lambda: fired.append(1)
+        )
+        injector.schedule_outage("backend", at=2.0, duration=1.0)
+        sim.run_until(5.0)
+        # The second script found the component already down (no-op) and
+        # its early recovery brought it back up once.
+        assert [event.kind for event in injector.log] == ["down", "up"]
+
+    def test_bad_duration_rejected(self):
+        injector = FaultInjector(Simulator())
+        with pytest.raises(SimulationError):
+            injector.schedule_outage("backend", at=1.0, duration=0.0)

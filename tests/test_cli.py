@@ -197,6 +197,79 @@ class TestPublish:
         assert out.exists()
 
 
+class TestFederationCommands:
+    def test_stats_reports_balance_and_stability(self, capsys):
+        code = main(["federation", "stats", "--devices", "500", "--hives", "4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ring: 4 hives" in output
+        assert "re-homes" in output
+        assert "all onto the new member: True" in output
+
+    def test_run_federated_campaign(self, capsys):
+        code = main(
+            [
+                "federation", "run",
+                "--users", "8",
+                "--days", "1",
+                "--hives", "2",
+                "--period", "900",
+                "--seed", "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "federation health" in output
+        assert "2 up, 0 down" in output
+        assert "federated task federated-campaign" in output
+
+    def test_run_with_failure_injection(self, capsys):
+        code = main(
+            [
+                "federation", "run",
+                "--users", "6",
+                "--days", "1",
+                "--hives", "3",
+                "--period", "900",
+                "--fail-hive", "hive-1",
+                "--fail-at-hours", "6",
+                "--fail-for-hours", "6",
+                "--seed", "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "federation health" in output
+        assert "3 up, 0 down" in output  # recovered by end of campaign
+
+    def test_query_counts_match_input(self, raw_csv, capsys):
+        dataset = MobilityDataset.from_csv(raw_csv)
+        code = main(
+            ["federation", "query", "--input", str(raw_csv), "--hives", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"matched {dataset.n_records} records" in output
+        assert "hive-0" in output
+
+    def test_query_writes_csv(self, raw_csv, tmp_path, capsys):
+        out = tmp_path / "federated.csv"
+        code = main(
+            [
+                "federation", "query",
+                "--input", str(raw_csv),
+                "--hives", "2",
+                "--t0", "0",
+                "--t1", "43200",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        header = out.read_text().splitlines()[0]
+        assert header == "user,time,lat,lon,value"
+
+
 class TestTaskCommands:
     @pytest.fixture()
     def good_spec(self, tmp_path):
