@@ -24,6 +24,7 @@ from repro.apisense.tasks import SensingTask
 from repro.errors import PlatformError
 from repro.simulation import Simulator
 from repro.store import DatasetStore, IngestPipeline
+from repro.streams import StreamEngine
 
 from typing import TYPE_CHECKING
 
@@ -68,6 +69,7 @@ class Hive:
         transport: "Transport | None" = None,
         store: DatasetStore | None = None,
         pipeline: IngestPipeline | None = None,
+        streams: StreamEngine | None = None,
         seed: int = 0,
     ):
         from repro.apisense.transport import Transport
@@ -98,6 +100,12 @@ class Hive:
         # Exclusive: a pipeline routes to exactly one Hive (sharing one
         # would double-deliver every flush to the owning Honeycombs).
         self.pipeline.set_router(self._route_flush)
+        #: Live streaming analytics: every Hive carries a stream engine
+        #: tapping its pipeline's flushes.  With no windowed view
+        #: registered it costs one no-op listener call per flush; once
+        #: views/queries are registered (``hive.streams.register_view``)
+        #: the operator dashboard (``monitoring.snapshot``) turns live.
+        self.streams = (streams or StreamEngine(sim=sim)).attach(self.pipeline)
         self._rng = np.random.default_rng(seed)
         self._devices: dict[str, MobileDevice] = {}
         self.community: dict[str, UserState] = {}

@@ -59,6 +59,12 @@ class PlatformHealthReport:
     pipeline_spilled: int = 0
     mean_flush_batch: float = 0.0
     ingest_lag_p95: float = 0.0
+    #: Live streaming tier (the Hive's stream engine): materialized
+    #: (task, view) count, total record rate of the newest closed
+    #: window, and alerts nobody has acknowledged yet.
+    stream_views: int = 0
+    stream_last_rate: float = 0.0
+    stream_alerts_unacked: int = 0
     tasks: tuple[TaskHealth, ...] = field(default_factory=tuple)
 
     @property
@@ -85,6 +91,9 @@ class PlatformHealthReport:
             f"  backpressure: {self.pipeline_dropped} dropped, "
             f"{self.pipeline_rejected} rejected, {self.pipeline_spilled} spilled "
             f"({self.pipeline_shed} records shed)",
+            f"  streams: {self.stream_views} live views, last window "
+            f"{self.stream_last_rate:.2f} rec/s, "
+            f"{self.stream_alerts_unacked} unacked alerts",
         ]
         for task in self.tasks:
             lines.append(
@@ -135,5 +144,8 @@ def snapshot(hive: Hive, time: float, low_battery: float = 0.2, at_risk: float =
         pipeline_spilled=pipeline.stats.spilled,
         mean_flush_batch=pipeline.stats.mean_flush_batch,
         ingest_lag_p95=lag_p95,
+        stream_views=hive.streams.active_view_count,
+        stream_last_rate=hive.streams.last_window_rate,
+        stream_alerts_unacked=hive.streams.alerts.unacknowledged,
         tasks=tasks,
     )

@@ -19,11 +19,17 @@ the task-lifecycle operations, grouped under ``task``::
     python -m repro task vet      --spec examples/adaptive_scripting.py
     python -m repro task describe --spec my_experiment.py:TASK
 
-and the multi-hive scale-out operations, grouped under ``federation``::
+the multi-hive scale-out operations, grouped under ``federation``::
 
     python -m repro federation run   --users 40 --days 2 --hives 3
     python -m repro federation stats --devices 2000 --hives 4
     python -m repro federation query --input raw.csv --hives 4 --t0 0 --t1 86400
+
+and the live streaming analytics tier, grouped under ``stream``::
+
+    python -m repro stream views  --input raw.csv --window 3600
+    python -m repro stream alerts --input raw.csv --rate-below 0.02
+    python -m repro stream watch  --input raw.csv --window 3600 --slide 900
 
 Dataset commands work on the ``user,time,lat,lon`` CSV format of
 :meth:`repro.mobility.dataset.MobilityDataset.to_csv`; ``task`` commands
@@ -334,6 +340,153 @@ def cmd_store_compact(args: argparse.Namespace) -> int:
         f"{report.segments_before} -> {report.segments_after} segments "
         f"({report.records} records; store {before.segments} -> {after.segments})"
     )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ``stream`` subcommands (live windowed views, repro.streams)
+# ----------------------------------------------------------------------
+
+
+def _replay_csv_through_streams(args: argparse.Namespace, engine) -> None:
+    """Replay a mobility CSV through a pipeline with ``engine`` attached.
+
+    Rows are replayed at their own timestamps (the arrival order a live
+    deployment would see), so windows close as simulated event time —
+    not file order — advances.
+    """
+    import itertools
+
+    from repro.apisense.device import SensorRecord
+    from repro.simulation import Simulator
+    from repro.store import DatasetStore, IngestPipeline
+
+    dataset = MobilityDataset.from_csv(args.input)
+    records = sorted(
+        (
+            SensorRecord(
+                device_id=f"csv:{user}",
+                user=user,
+                task=args.task_name,
+                time=record.time,
+                values={"gps": record.point},
+            )
+            for user, record in dataset.all_records()
+        ),
+        key=lambda r: r.time,
+    )
+    sim = Simulator()
+    engine.bind_clock(sim)  # lag views measure this replay's pipeline delay
+    store = DatasetStore(n_shards=args.shards)
+    pipeline = IngestPipeline(sim, store, flush_delay=args.flush_delay)
+    engine.attach(pipeline)
+    for timestamp, group in itertools.groupby(records, key=lambda r: r.time):
+        sim.run_until(max(sim.now, timestamp))
+        pipeline.submit(list(group))
+    sim.run()
+    pipeline.flush_all()
+    engine.finalize()
+
+
+def _build_stream_engine(args: argparse.Namespace):
+    from repro.streams import StreamEngine, WindowSpec
+
+    slide = args.slide if args.slide is not None else args.window
+    engine = StreamEngine(
+        pane_seconds=min(slide, args.window),
+        allowed_lateness=args.lateness,
+        cell_deg=args.cell_deg,
+        history=args.history,
+    )
+    engine.register_view("window", WindowSpec(size=args.window, slide=slide))
+    return engine
+
+
+def _register_stream_queries(args: argparse.Namespace, engine) -> None:
+    from repro.streams import (
+        ContinuousQuery,
+        coverage_stalled,
+        percentile_above,
+        rate_below,
+    )
+
+    if args.rate_below is not None:
+        engine.register_query(
+            "window", ContinuousQuery("rate-below", rate_below(args.rate_below))
+        )
+    if args.coverage_stalled is not None:
+        engine.register_query(
+            "window",
+            ContinuousQuery(
+                "coverage-stalled", coverage_stalled(args.coverage_stalled)
+            ),
+        )
+    if args.lag_p95_above is not None:
+        engine.register_query(
+            "window",
+            ContinuousQuery(
+                "lag-p95-above", percentile_above("lag", 0.95, args.lag_p95_above)
+            ),
+        )
+    if args.value_p95_above is not None:
+        engine.register_query(
+            "window",
+            ContinuousQuery(
+                "value-p95-above",
+                percentile_above("value", 0.95, args.value_p95_above),
+            ),
+        )
+
+
+def cmd_stream_views(args: argparse.Namespace) -> int:
+    engine = _build_stream_engine(args)
+    _replay_csv_through_streams(args, engine)
+    stats = engine.stats
+    print(
+        f"stream: {stats.records_seen} records into {stats.windows_emitted} windows "
+        f"({stats.late_records} late, watermark {engine.watermark:.0f}s)"
+    )
+    for task in engine.tasks:
+        for snapshot in engine.snapshots(task, "window")[-args.last :]:
+            print("  " + snapshot.to_text())
+    return 0
+
+
+def cmd_stream_alerts(args: argparse.Namespace) -> int:
+    engine = _build_stream_engine(args)
+    _register_stream_queries(args, engine)
+    _replay_csv_through_streams(args, engine)
+    log = engine.alerts
+    print(
+        f"continuous queries: {engine.stats.queries_evaluated} evaluations, "
+        f"{log.total} alerts ({log.dropped} dropped by the bounded log, "
+        f"{log.unacknowledged} unacknowledged)"
+    )
+    for alert in log.alerts():
+        print("  " + alert.to_text())
+    return 0 if log.total == 0 else 1
+
+
+def cmd_stream_watch(args: argparse.Namespace) -> int:
+    engine = _build_stream_engine(args)
+    _register_stream_queries(args, engine)
+    printed = 0
+
+    def live(snapshot) -> None:
+        nonlocal printed
+        if args.limit is None or printed < args.limit:
+            print(snapshot.to_text())
+            printed += 1
+
+    engine.on_window(live)
+    _replay_csv_through_streams(args, engine)
+    print(
+        f"watched {engine.stats.windows_emitted} windows "
+        f"({engine.stats.records_seen} records, "
+        f"{engine.alerts.total} alerts)"
+    )
+    for alert in engine.alerts.alerts():
+        print("  ALERT " + alert.to_text())
     return 0
 
 
@@ -698,6 +851,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_common(store_compact)
     store_compact.set_defaults(handler=cmd_store_compact)
+
+    stream = commands.add_parser(
+        "stream", help="live windowed views + continuous queries (repro.streams)"
+    )
+    stream_commands = stream.add_subparsers(
+        dest="stream_command",
+        title="stream subcommands",
+        required=True,
+    )
+
+    def add_stream_common(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--input", required=True, help="mobility CSV to replay")
+        subparser.add_argument("--task-name", default="ingested", help="task label")
+        subparser.add_argument("--shards", type=int, default=4)
+        subparser.add_argument("--flush-delay", type=float, default=30.0)
+        subparser.add_argument(
+            "--window", type=float, default=3600.0, help="window size (s)"
+        )
+        subparser.add_argument(
+            "--slide",
+            type=float,
+            help="window slide (s); defaults to --window (tumbling)",
+        )
+        subparser.add_argument(
+            "--lateness", type=float, default=1800.0, help="allowed event lateness (s)"
+        )
+        subparser.add_argument(
+            "--cell-deg", type=float, default=0.005, help="coverage cell size (deg)"
+        )
+        subparser.add_argument(
+            "--history", type=int, default=256, help="windows retained per view"
+        )
+
+    def add_stream_queries(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--rate-below", type=float, help="alert when window rate < rec/s"
+        )
+        subparser.add_argument(
+            "--coverage-stalled",
+            type=int,
+            help="alert when N consecutive windows add no new coverage cell",
+        )
+        subparser.add_argument(
+            "--lag-p95-above", type=float, help="alert when ingest-lag p95 > seconds"
+        )
+        subparser.add_argument(
+            "--value-p95-above", type=float, help="alert when value p95 > threshold"
+        )
+
+    stream_views = stream_commands.add_parser(
+        "views", help="replay a CSV and print the closed windowed views"
+    )
+    add_stream_common(stream_views)
+    stream_views.add_argument(
+        "--last", type=int, default=12, help="windows shown per task"
+    )
+    stream_views.set_defaults(handler=cmd_stream_views)
+
+    stream_alerts = stream_commands.add_parser(
+        "alerts", help="replay with continuous queries; exit 1 if any fired"
+    )
+    add_stream_common(stream_alerts)
+    add_stream_queries(stream_alerts)
+    stream_alerts.set_defaults(handler=cmd_stream_alerts)
+
+    stream_watch = stream_commands.add_parser(
+        "watch", help="print every window as it closes (live dashboard)"
+    )
+    add_stream_common(stream_watch)
+    add_stream_queries(stream_watch)
+    stream_watch.add_argument("--limit", type=int, help="stop printing after N windows")
+    stream_watch.set_defaults(handler=cmd_stream_watch)
 
     federation = commands.add_parser(
         "federation", help="multi-hive scale-out operations (repro.federation)"

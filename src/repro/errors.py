@@ -50,3 +50,7 @@ class PrivacyRequirementError(ReproError):
 
 class StoreError(ReproError):
     """Dataset store / ingestion pipeline misuse (bad shard, policy...)."""
+
+
+class StreamError(ReproError):
+    """Streaming tier misuse (bad window geometry, unknown view/query...)."""

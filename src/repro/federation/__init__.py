@@ -16,6 +16,10 @@ tier composes many such Hives into one logical platform:
 - :class:`~repro.federation.query.FederatedDataset` is the query plane:
   one scan/aggregate view fanned out over every member Hive's
   :class:`~repro.store.DatasetStore` and merged;
+- :class:`~repro.federation.streams.FederatedStreamMerger` is the live
+  plane: the members' windowed stream views (see :mod:`repro.streams`)
+  folded into one federation-wide dashboard at read time (count-sum,
+  cell-union, P²-merge);
 - :func:`~repro.federation.health.federation_snapshot` aggregates the
   member dashboards into one :class:`~repro.federation.health.
   FederationHealthReport`.
@@ -32,6 +36,7 @@ from repro.federation.health import (
 )
 from repro.federation.query import FederatedDataset, FederatedTaskAggregate
 from repro.federation.ring import ConsistentHashRing, PlacementDiff
+from repro.federation.streams import FederatedStreamMerger
 from repro.federation.router import (
     ControlPlaneStats,
     FederatedSyndicationReceipt,
@@ -49,6 +54,7 @@ __all__ = [
     "ControlPlaneStats",
     "FederatedSyndicationReceipt",
     "FederatedDataset",
+    "FederatedStreamMerger",
     "FederatedTaskAggregate",
     "FederationHealthReport",
     "MemberHealth",

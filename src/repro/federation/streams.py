@@ -1,0 +1,185 @@
+"""Federation-wide live dashboards: merging member window snapshots.
+
+A federated deployment runs one stream engine per member Hive; each
+engine closes windows over its own slice of the crowd.  Because
+placement homes every device on exactly one member, same-window member
+snapshots partition the crowd's records — so folding them (count-sum,
+cell-union, user-activity-sum, P²-merge) reconstructs exactly the view
+a single monolithic Hive's engine would have materialized (percentiles
+within sketch-merge tolerance; everything else exact).
+
+:class:`FederatedStreamMerger` does that fold at read time: no snapshot
+shipping, no coordination — it reads the members' retained window
+histories and merges on demand, mirroring how
+:class:`~repro.federation.query.FederatedDataset` treats the batch
+store.  Members close windows independently (their watermarks advance
+with their own traffic), so merging anchors on the newest window
+boundary **every** member has closed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.errors import StreamError
+from repro.streams.engine import StreamEngine
+from repro.streams.queries import StreamAlert
+from repro.streams.views import WindowSnapshot, merge_snapshots
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.router import FederationRouter
+
+
+class FederatedStreamMerger:
+    """One live windowed view over every member Hive's stream engine."""
+
+    def __init__(self, engines: Mapping[str, StreamEngine]):
+        if not engines:
+            raise StreamError("federated stream merger needs at least one engine")
+        self._engines = dict(engines)
+
+    @classmethod
+    def from_router(cls, router: "FederationRouter") -> "FederatedStreamMerger":
+        """The live view of a federation's current members."""
+        return cls(
+            {name: router.hive(name).streams for name in router.member_names}
+        )
+
+    @property
+    def member_names(self) -> list[str]:
+        return sorted(self._engines)
+
+    def engine(self, name: str) -> StreamEngine:
+        if name not in self._engines:
+            raise StreamError(f"unknown federation member {name!r}")
+        return self._engines[name]
+
+    @property
+    def tasks(self) -> list[str]:
+        names: set[str] = set()
+        for engine in self._engines.values():
+            names.update(engine.tasks)
+        return sorted(names)
+
+    @property
+    def views(self) -> list[str]:
+        """View names registered on every member (mergeable views)."""
+        common: set[str] | None = None
+        for engine in self._engines.values():
+            names = set(engine.views)
+            common = names if common is None else common & names
+        return sorted(common or ())
+
+    # ------------------------------------------------------------------
+    # Merge path
+    # ------------------------------------------------------------------
+
+    def common_boundary(self, task: str, view: str) -> float | None:
+        """The newest window end every member holding the view has closed.
+
+        Members that never materialized (task, view) — e.g. no device of
+        that task homed there yet — don't hold the federation back; a
+        member with *no* window at all for the view is simply skipped.
+        """
+        ends = []
+        for engine in self._engines.values():
+            if view not in engine.views:
+                continue
+            latest = engine.latest(task, view)
+            if latest is not None:
+                ends.append(latest.end)
+        return min(ends) if ends else None
+
+    def merged(
+        self, task: str, view: str, end: float | None = None
+    ) -> WindowSnapshot:
+        """Fold the members' snapshots of one window into one view.
+
+        ``end`` selects the window by its close boundary (default: the
+        newest boundary all members have reached, see
+        :meth:`common_boundary`).  Members whose retained history does
+        not include that window contribute nothing (their slice of the
+        crowd was idle or the window aged out of their history).
+        """
+        if end is None:
+            end = self.common_boundary(task, view)
+            if end is None:
+                raise StreamError(
+                    f"no member has closed a window of {task!r}/{view!r} yet"
+                )
+        pieces = []
+        for engine in self._engines.values():
+            if view not in engine.views:
+                continue
+            for snapshot in engine.snapshots(task, view):
+                if snapshot.end == end:
+                    pieces.append(snapshot)
+                    break
+        if not pieces:
+            raise StreamError(
+                f"no member retains the {task!r}/{view!r} window ending at {end}"
+            )
+        return merge_snapshots(pieces)
+
+    def history(self, task: str, view: str) -> list[WindowSnapshot]:
+        """Every fully-merged retained window, oldest first.
+
+        Only boundaries up to :meth:`common_boundary` are returned — a
+        window some member has not closed yet would under-count.
+        """
+        horizon = self.common_boundary(task, view)
+        if horizon is None:
+            return []
+        ends: set[float] = set()
+        for engine in self._engines.values():
+            if view not in engine.views:
+                continue
+            ends.update(
+                s.end for s in engine.snapshots(task, view) if s.end <= horizon
+            )
+        return [self.merged(task, view, end=end) for end in sorted(ends)]
+
+    # ------------------------------------------------------------------
+    # Alerts / dashboard
+    # ------------------------------------------------------------------
+
+    def alerts(self) -> list[tuple[str, StreamAlert]]:
+        """Every member's retained alerts as (member, alert), by time."""
+        merged: list[tuple[str, StreamAlert]] = []
+        for name in sorted(self._engines):
+            merged.extend((name, alert) for alert in self._engines[name].alerts.alerts())
+        merged.sort(key=lambda pair: pair[1].time)
+        return merged
+
+    @property
+    def unacknowledged_alerts(self) -> int:
+        return sum(e.alerts.unacknowledged for e in self._engines.values())
+
+    def dashboard(self, view: str) -> str:
+        """One federation-wide live dashboard: every task's latest merged window."""
+        lines = [
+            f"federated live dashboard ({len(self._engines)} hives, view {view!r})"
+        ]
+        for task in self.tasks:
+            try:
+                snapshot = self.merged(task, view)
+            except StreamError:
+                lines.append(f"  {task}: no closed window yet")
+                continue
+            lines.append("  " + snapshot.to_text())
+        unacked = self.unacknowledged_alerts
+        lines.append(f"  alerts: {unacked} unacknowledged across the federation")
+        return "\n".join(lines)
+
+    def iter_member_snapshots(
+        self, task: str, view: str, end: float
+    ) -> Iterator[tuple[str, WindowSnapshot]]:
+        """The per-member slices of one window (debugging / imbalance)."""
+        for name in sorted(self._engines):
+            engine = self._engines[name]
+            if view not in engine.views:
+                continue
+            for snapshot in engine.snapshots(task, view):
+                if snapshot.end == end:
+                    yield name, snapshot
+                    break

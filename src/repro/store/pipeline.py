@@ -43,6 +43,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 POLICIES = ("drop-oldest", "reject", "spill")
 
 #: Listener signature: receives the records of one shard flush.
+#:
+#: Delivery guarantee: listeners observe **every admitted record exactly
+#: once**, in flush batches, regardless of what triggered the flush —
+#: the timer-driven per-shard flush and a synchronous
+#: :meth:`IngestPipeline.flush_all` drain go through the same flush
+#: path, in the same order (store append, then the router, then
+#: listeners in registration order).  Records shed by backpressure
+#: (rejected / dropped) are never delivered; empty flushes are never
+#: delivered.  The streaming tier's live views rely on this guarantee:
+#: a campaign teardown ``flush_all()`` must feed the stream engine the
+#: exact same batches a slower timer-driven drain would have.
 FlushListener = Callable[[list["SensorRecord"]], None]
 
 
@@ -230,7 +241,12 @@ class IngestPipeline:
         """Synchronously drain every buffer and spill queue.
 
         Used at campaign teardown and by bulk loads; returns the number
-        of records flushed.
+        of records flushed.  Notifies the router and every flush
+        listener identically to a timer-driven flush (same
+        :meth:`_flush` path, same ordering, each record delivered
+        exactly once — see :data:`FlushListener`); the only difference
+        is that the spill queue is drained to empty in one synchronous
+        loop instead of one buffer-capacity per scheduled flush.
         """
         total = 0
         for shard_id, shard in enumerate(self._shards):

@@ -5,11 +5,21 @@ unbounded stream without keeping the samples.  Jain & Chlamtac's P²
 algorithm (CACM 1985) tracks one quantile with five markers in O(1)
 memory and O(1) per observation — exactly the budget a per-flush update
 path can afford.
+
+Sketches are also *mergeable* (:meth:`P2Quantile.merge`): each sketch's
+five markers describe a piecewise-linear CDF approximation, and a
+count-weighted combination of the members' CDFs can be inverted at the
+five marker quantiles to reconstruct a valid merged sketch.  The merge
+is approximate (P² does not compose exactly) but its error stays on the
+order of the per-sketch error — good enough for the streaming tier's
+pane windows and the federation's cross-hive dashboard, both of which
+fold many partial sketches into one estimate.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 from repro.errors import StoreError
 
@@ -97,3 +107,101 @@ class P2Quantile:
             frac = rank - lo
             return self._q[lo] * (1.0 - frac) + self._q[hi] * frac
         return self._q[2]
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def _cdf_points(self) -> tuple[list[float], list[float]]:
+        """This sketch as a piecewise-linear CDF: (heights, fractions).
+
+        Heights are strictly the observed value range; fractions map the
+        minimum to 0 and the maximum to 1.  Small sketches (≤ 5
+        observations) use their exact sorted samples at mid-rank
+        fractions.
+        """
+        if self._count <= 5:
+            c = self._count
+            if c == 1:
+                return [self._q[0]], [0.5]
+            return list(self._q), [i / (c - 1) for i in range(c)]
+        span = self._count - 1
+        return list(self._q), [(n - 1.0) / span for n in self._n]
+
+    @classmethod
+    def merge(cls, sketches: Sequence["P2Quantile"]) -> "P2Quantile":
+        """Merge sketches tracking the same quantile into a new sketch.
+
+        Empty members contribute nothing; at least one sketch (empty or
+        not) is required to fix ``p``.  The merged sketch carries the
+        pooled count, the pooled min/max exactly, and interior markers
+        read off the count-weighted combination of the members' CDF
+        approximations — it remains a live estimator (``add`` keeps
+        working on it).
+        """
+        if not sketches:
+            raise StoreError("cannot merge an empty collection of sketches")
+        ps = {s.p for s in sketches}
+        if len(ps) > 1:
+            raise StoreError(
+                f"cannot merge sketches tracking different quantiles: {sorted(ps)}"
+            )
+        merged = cls(sketches[0].p)
+        live = [s for s in sketches if s._count]
+        if not live:
+            return merged
+        total = sum(s._count for s in live)
+        if total <= 5:
+            # Every member is tiny and still holds its raw samples.
+            for sketch in live:
+                for x in sketch._q:
+                    merged.add(x)
+            return merged
+
+        # Count-weighted piecewise-linear CDF combination, inverted at
+        # the five marker quantiles.
+        curves = [(s._count, *s._cdf_points()) for s in live]
+        grid = sorted({h for _, heights, _ in curves for h in heights})
+        combined = []
+        for h in grid:
+            mass = 0.0
+            for count, heights, fractions in curves:
+                mass += count * _interp(h, heights, fractions)
+            combined.append(mass / total)
+
+        lo = min(heights[0] for _, heights, _ in curves)
+        hi = max(heights[-1] for _, heights, _ in curves)
+        dn = merged._dn
+        # Inverting the monotone CDF is interpolation with axes swapped.
+        q = [_interp(d, combined, grid) for d in dn]
+        q[0], q[4] = lo, hi
+        for i in range(1, 5):  # enforce monotone marker heights
+            q[i] = max(q[i], q[i - 1])
+
+        # Integer marker positions at their desired ranks, kept strictly
+        # increasing (total > 5 guarantees room).
+        n = [1.0 + round((total - 1) * d) for d in dn]
+        n[0], n[4] = 1.0, float(total)
+        for i in range(1, 4):
+            n[i] = min(max(n[i], n[i - 1] + 1.0), total - (4.0 - i))
+
+        merged._count = total
+        merged._q = q
+        merged._n = n
+        merged._np = [1.0 + (total - 1) * d for d in dn]
+        return merged
+
+
+def _interp(x: float, xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Piecewise-linear interpolation clamped to [ys[0], ys[-1]]."""
+    if x <= xs[0]:
+        return ys[0]
+    if x >= xs[-1]:
+        return ys[-1]
+    for i in range(1, len(xs)):
+        if x <= xs[i]:
+            if xs[i] == xs[i - 1]:
+                return ys[i]
+            t = (x - xs[i - 1]) / (xs[i] - xs[i - 1])
+            return ys[i - 1] + t * (ys[i] - ys[i - 1])
+    return ys[-1]  # pragma: no cover - unreachable

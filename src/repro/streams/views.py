@@ -1,0 +1,225 @@
+"""Windowed materialized views: pane state and window snapshots.
+
+The engine keeps one :class:`PaneStats` per (task, pane) and updates it
+O(1) per record at flush time; every registered windowed view is
+assembled *at window close* by merging the panes it spans into a
+:class:`WindowSnapshot`.  A snapshot is therefore a real materialized
+view — record rate, geo-cell coverage, per-user activity, and P²
+value/lag percentiles for that window — computed without ever
+re-scanning the columnar store.
+
+Snapshots keep their mergeable state (user counts, cell sets, P²
+sketches) so the federation tier can fold member-hive snapshots of the
+same window into one federation-wide view (count-sum, cell-union,
+P²-merge; see :class:`repro.federation.streams.FederatedStreamMerger`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import StreamError
+from repro.store.quantiles import P2Quantile
+
+#: The quantiles every view tracks for record values and ingest lag.
+VIEW_QUANTILES = (0.50, 0.95)
+
+CellIndex = tuple[int, int]
+
+
+class PaneStats:
+    """Accumulated statistics of one task over one pane of the stream."""
+
+    __slots__ = ("start", "end", "records", "user_counts", "cells",
+                 "value_sketches", "lag_sketches")
+
+    def __init__(self, start: float, end: float):
+        self.start = start
+        self.end = end
+        self.records = 0
+        self.user_counts: dict[str, int] = {}
+        self.cells: set[CellIndex] = set()
+        self.value_sketches = {p: P2Quantile(p) for p in VIEW_QUANTILES}
+        self.lag_sketches = {p: P2Quantile(p) for p in VIEW_QUANTILES}
+
+    def update(
+        self,
+        user: str,
+        cell: CellIndex | None,
+        value: float | None,
+        lag: float | None,
+    ) -> None:
+        """Absorb one record (O(1))."""
+        self.records += 1
+        self.user_counts[user] = self.user_counts.get(user, 0) + 1
+        if cell is not None:
+            self.cells.add(cell)
+        if value is not None:
+            for sketch in self.value_sketches.values():
+                sketch.add(value)
+        if lag is not None:
+            for sketch in self.lag_sketches.values():
+                sketch.add(lag)
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One closed window of one task's windowed view.
+
+    Aggregate readings are plain attributes/properties; the mergeable
+    state (``user_counts``, ``cells``, sketches) rides along so member
+    snapshots can be folded across a federation.
+    """
+
+    task: str
+    view: str
+    start: float
+    end: float
+    records: int
+    user_counts: Mapping[str, int]
+    cells: frozenset[CellIndex]
+    value_quantiles: Mapping[float, P2Quantile]
+    lag_quantiles: Mapping[float, P2Quantile]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Record rate over the window, in records/second."""
+        return self.records / self.duration if self.duration else 0.0
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_counts)
+
+    @property
+    def coverage_cells(self) -> int:
+        return len(self.cells)
+
+    def top_users(self, k: int = 5) -> tuple[tuple[str, int], ...]:
+        """The ``k`` most active users of the window, most active first."""
+        ranked = sorted(self.user_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return tuple(ranked[:k])
+
+    def value_quantile(self, p: float) -> float:
+        """The window's value percentile (0.0 when no values were seen)."""
+        sketch = self.value_quantiles.get(p)
+        return sketch.value() if sketch is not None and len(sketch) else 0.0
+
+    def lag_quantile(self, p: float) -> float:
+        """The window's ingest-lag percentile (0.0 when lag untracked)."""
+        sketch = self.lag_quantiles.get(p)
+        return sketch.value() if sketch is not None and len(sketch) else 0.0
+
+    def to_text(self) -> str:
+        top = ", ".join(f"{u}:{c}" for u, c in self.top_users(3))
+        return (
+            f"[{self.start:.0f},{self.end:.0f})s {self.task}/{self.view}: "
+            f"{self.records} rec ({self.rate:.2f}/s) from {self.n_users} users, "
+            f"{self.coverage_cells} cells, value p50/p95 "
+            f"{self.value_quantile(0.50):.2f}/{self.value_quantile(0.95):.2f}, "
+            f"lag p95 {self.lag_quantile(0.95):.1f}s"
+            + (f", top [{top}]" if top else "")
+        )
+
+
+def _fold_window(
+    task: str,
+    view: str,
+    start: float,
+    end: float,
+    parts: Sequence[tuple[int, Mapping[str, int], "frozenset[CellIndex] | set[CellIndex]",
+                          Mapping[float, P2Quantile], Mapping[float, P2Quantile]]],
+) -> WindowSnapshot:
+    """The one fold both assembly paths share.
+
+    ``parts`` are ``(records, user_counts, cells, value_sketches,
+    lag_sketches)`` tuples — pane slices of one engine or same-window
+    snapshots of federation members.  Keeping a single fold is what
+    guarantees pane-assembly and cross-hive merging stay semantically
+    identical (merged members == monolithic engine).
+    """
+    user_counts: dict[str, int] = {}
+    cells: set[CellIndex] = set()
+    for _records, part_users, part_cells, _vq, _lq in parts:
+        for user, count in part_users.items():
+            user_counts[user] = user_counts.get(user, 0) + count
+        cells |= part_cells
+    value_q = {
+        p: P2Quantile.merge([vq[p] for _, _, _, vq, _ in parts] or [P2Quantile(p)])
+        for p in VIEW_QUANTILES
+    }
+    lag_q = {
+        p: P2Quantile.merge([lq[p] for _, _, _, _, lq in parts] or [P2Quantile(p)])
+        for p in VIEW_QUANTILES
+    }
+    return WindowSnapshot(
+        task=task,
+        view=view,
+        start=start,
+        end=end,
+        records=sum(records for records, *_rest in parts),
+        user_counts=user_counts,
+        cells=frozenset(cells),
+        value_quantiles=value_q,
+        lag_quantiles=lag_q,
+    )
+
+
+def snapshot_from_panes(
+    task: str,
+    view: str,
+    start: float,
+    end: float,
+    panes: Sequence[PaneStats],
+) -> WindowSnapshot:
+    """Assemble one window by merging the panes it spans.
+
+    ``panes`` may be empty (an idle window still closes, with zero
+    records) — dashboards and ``rate_below`` queries depend on empty
+    windows being observable.
+    """
+    return _fold_window(
+        task,
+        view,
+        start,
+        end,
+        [
+            (p.records, p.user_counts, p.cells, p.value_sketches, p.lag_sketches)
+            for p in panes
+        ],
+    )
+
+
+def merge_snapshots(snapshots: Sequence[WindowSnapshot]) -> WindowSnapshot:
+    """Fold same-window snapshots from different sources into one.
+
+    The federation merger uses this: counts sum, user activity sums,
+    cells union, sketches P²-merge.  All snapshots must describe the
+    same (task, view, start, end) window.
+    """
+    if not snapshots:
+        raise StreamError("cannot merge zero window snapshots")
+    head = snapshots[0]
+    for other in snapshots[1:]:
+        if (other.task, other.view, other.start, other.end) != (
+            head.task, head.view, head.start, head.end,
+        ):
+            raise StreamError(
+                "cannot merge snapshots of different windows: "
+                f"{(head.task, head.view, head.start, head.end)} vs "
+                f"{(other.task, other.view, other.start, other.end)}"
+            )
+    return _fold_window(
+        head.task,
+        head.view,
+        head.start,
+        head.end,
+        [
+            (s.records, s.user_counts, s.cells, s.value_quantiles, s.lag_quantiles)
+            for s in snapshots
+        ],
+    )

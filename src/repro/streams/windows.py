@@ -1,0 +1,81 @@
+"""Window specifications over simulator (event) time.
+
+The streaming tier slices each task's record stream into **windows** of
+simulated seconds.  A :class:`WindowSpec` is either *tumbling* (windows
+tile the time axis back to back: ``size == slide``) or *sliding*
+(windows of ``size`` seconds emitted every ``slide`` seconds, so
+consecutive windows overlap by ``size - slide``).
+
+Windows are aligned to t=0 of the simulation clock: a window *closes*
+at every multiple of ``slide`` and covers the preceding ``size``
+seconds.  The engine maintains state in **panes** of ``slide`` seconds
+(tumbling windows of the greatest common slide) and assembles a closing
+window by merging its ``size / slide`` panes — which is what keeps
+per-record maintenance cost independent of how many windowed views are
+registered (see :mod:`repro.streams.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StreamError
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One windowed view's geometry: ``size`` seconds, closing every ``slide``."""
+
+    size: float
+    slide: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise StreamError(f"window size must be positive: {self.size}")
+        if self.slide <= 0:
+            raise StreamError(f"window slide must be positive: {self.slide}")
+        if self.slide > self.size:
+            raise StreamError(
+                f"slide {self.slide} exceeds size {self.size}; "
+                "gapped (sampled) windows are not supported"
+            )
+        ratio = self.size / self.slide
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise StreamError(
+                f"window size {self.size} must be an integer multiple "
+                f"of slide {self.slide}"
+            )
+
+    @classmethod
+    def tumbling(cls, size: float) -> "WindowSpec":
+        """Back-to-back windows: each record lands in exactly one."""
+        return cls(size=size, slide=size)
+
+    @classmethod
+    def sliding(cls, size: float, slide: float) -> "WindowSpec":
+        """Overlapping windows: one closes every ``slide`` seconds."""
+        return cls(size=size, slide=slide)
+
+    @property
+    def is_tumbling(self) -> bool:
+        return self.slide == self.size
+
+    @property
+    def panes_per_window(self) -> int:
+        """How many ``slide``-sized panes one window spans."""
+        return int(round(self.size / self.slide))
+
+    def closes_at(self, boundary: float) -> bool:
+        """Does a window of this spec close at pane boundary ``boundary``?
+
+        True when the boundary is a multiple of ``slide`` and a full
+        window fits before it (partial head windows are not emitted).
+        """
+        if boundary < self.size - 1e-9:
+            return False
+        ratio = boundary / self.slide
+        return abs(ratio - round(ratio)) < 1e-9
+
+    def window_at(self, boundary: float) -> tuple[float, float]:
+        """The ``(start, end)`` of the window closing at ``boundary``."""
+        return (boundary - self.size, boundary)

@@ -221,6 +221,44 @@ class TestFlushAll:
         _, pipeline = build(sim)
         assert pipeline.flush_all() == 0
 
+    def test_listeners_notified_identically_to_timer_flushes(self, sim):
+        """The FlushListener guarantee: every admitted record reaches
+        every listener exactly once whether the flush was timer-driven
+        or a synchronous flush_all() drain — same path, same ordering
+        (router first, then listeners)."""
+        records = make_records(40)
+
+        # Timer-driven baseline.
+        _, timed = build(sim, policy="spill", capacity=10)
+        timed_seen: list = []
+        timed.set_router(lambda recs: None)
+        timed.add_listener(timed_seen.extend)
+        timed.submit(records)
+        sim.run()
+
+        # flush_all()-driven drain of the identical workload.
+        from repro.simulation import Simulator
+
+        _, drained = build(Simulator(), policy="spill", capacity=10)
+        order: list = []
+        drained_seen: list = []
+        drained.set_router(lambda recs: order.append("router"))
+        drained.add_listener(lambda recs: (order.append("observer"),
+                                           drained_seen.extend(recs)))
+        drained.submit(records)
+        drained.flush_all()
+
+        assert drained_seen == timed_seen == records  # exactly once, in order
+        assert order[:2] == ["router", "observer"]  # router precedes listeners
+        assert drained.stats.flushed_records == timed.stats.flushed_records == 40
+
+    def test_flush_all_skips_listeners_for_empty_drain(self, sim):
+        _, pipeline = build(sim)
+        seen = []
+        pipeline.add_listener(seen.append)
+        pipeline.flush_all()
+        assert seen == []  # empty flushes are never delivered
+
 
 class TestStats:
     def test_counters_add_up(self, sim):

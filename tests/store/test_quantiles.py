@@ -1,10 +1,19 @@
-"""Unit tests for the P² streaming quantile estimator."""
+"""Unit tests for the P² streaming quantile estimator and its merge."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import StoreError
 from repro.store.quantiles import P2Quantile
+
+
+def fill(samples, p: float) -> P2Quantile:
+    sketch = P2Quantile(p)
+    for x in samples:
+        sketch.add(float(x))
+    return sketch
 
 
 class TestP2Quantile:
@@ -47,3 +56,95 @@ class TestP2Quantile:
         for _ in range(100):
             estimator.add(5.0)
         assert estimator.value() == 5.0
+
+
+class TestMergeValidation:
+    def test_empty_collection_rejected(self):
+        with pytest.raises(StoreError):
+            P2Quantile.merge([])
+
+    def test_mixed_quantiles_rejected(self):
+        with pytest.raises(StoreError):
+            P2Quantile.merge([P2Quantile(0.5), P2Quantile(0.95)])
+
+    def test_all_empty_members_merge_to_empty(self):
+        merged = P2Quantile.merge([P2Quantile(0.5), P2Quantile(0.5)])
+        assert len(merged) == 0
+        assert np.isnan(merged.value())
+
+    def test_single_member_roundtrip(self):
+        data = np.linspace(0.0, 10.0, 200)
+        merged = P2Quantile.merge([fill(data, 0.5)])
+        assert len(merged) == 200
+        assert merged.value() == pytest.approx(5.0, abs=0.5)
+
+    def test_tiny_members_merge_exactly(self):
+        # Members still holding raw samples pool them exactly.
+        merged = P2Quantile.merge([fill([1.0, 2.0], 0.5), fill([3.0], 0.5)])
+        assert len(merged) == 3
+        assert merged.value() == 2.0
+
+
+class TestMergeProperties:
+    """Merged-sketch error vs pooled-data ground truth stays bounded.
+
+    Mirrors the federation's use: N member hives each sketch their slice
+    of one stream; the merger folds the sketches.  The merged estimate
+    must stay close to the percentile of the pooled data no matter how
+    the stream was split (sizes, order, imbalance).
+    """
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_parts=st.integers(min_value=2, max_value=6),
+        p=st.sampled_from([0.5, 0.95, 0.99]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_error_bounded_uniform(self, seed, n_parts, p):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(0.0, 100.0, size=int(rng.integers(50, 3000)))
+        cuts = np.sort(rng.integers(0, len(data), size=n_parts - 1))
+        parts = np.split(rng.permutation(data), cuts)
+        merged = P2Quantile.merge([fill(part, p) for part in parts])
+        exact = float(np.percentile(data, p * 100.0))
+        assert len(merged) == len(data)
+        # 5% of the data range bounds both sketch and merge error here.
+        assert merged.value() == pytest.approx(exact, abs=5.0)
+
+    @given(seed=st.integers(0, 10_000), n_parts=st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_error_bounded_skewed(self, seed, n_parts):
+        rng = np.random.default_rng(seed)
+        data = rng.exponential(10.0, size=2000)
+        parts = np.array_split(rng.permutation(data), n_parts)
+        merged = P2Quantile.merge([fill(part, 0.95) for part in parts])
+        exact = float(np.percentile(data, 95.0))
+        assert merged.value() == pytest.approx(exact, rel=0.25)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_preserves_extremes_and_count(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0.0, 50.0, size=500)
+        parts = np.array_split(data, 4)
+        merged = P2Quantile.merge([fill(part, 0.5) for part in parts])
+        assert len(merged) == len(data)
+        # The pooled min/max are carried exactly into the outer markers.
+        assert merged._q[0] == pytest.approx(float(np.min(data)))
+        assert merged._q[-1] == pytest.approx(float(np.max(data)))
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_merged_sketch_stays_live(self, seed):
+        """A merged sketch keeps absorbing observations correctly."""
+        rng = np.random.default_rng(seed)
+        before = rng.uniform(0.0, 100.0, size=400)
+        after = rng.uniform(0.0, 100.0, size=1600)
+        merged = P2Quantile.merge([fill(half, 0.95) for half in np.split(before, 2)])
+        for x in after:
+            merged.add(float(x))
+        pooled = np.concatenate([before, after])
+        assert len(merged) == len(pooled)
+        assert merged.value() == pytest.approx(
+            float(np.percentile(pooled, 95.0)), abs=5.0
+        )

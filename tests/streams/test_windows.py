@@ -1,0 +1,49 @@
+"""Window geometry: validation, alignment, close boundaries."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams import WindowSpec
+
+
+class TestValidation:
+    def test_bad_size(self):
+        with pytest.raises(StreamError):
+            WindowSpec(size=0.0, slide=1.0)
+
+    def test_bad_slide(self):
+        with pytest.raises(StreamError):
+            WindowSpec(size=60.0, slide=0.0)
+
+    def test_gapped_windows_rejected(self):
+        with pytest.raises(StreamError):
+            WindowSpec(size=60.0, slide=120.0)
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(StreamError):
+            WindowSpec(size=100.0, slide=30.0)
+
+
+class TestGeometry:
+    def test_tumbling(self):
+        spec = WindowSpec.tumbling(300.0)
+        assert spec.is_tumbling
+        assert spec.slide == spec.size == 300.0
+        assert spec.panes_per_window == 1
+
+    def test_sliding(self):
+        spec = WindowSpec.sliding(3600.0, 900.0)
+        assert not spec.is_tumbling
+        assert spec.panes_per_window == 4
+
+    def test_closes_at_multiples_of_slide(self):
+        spec = WindowSpec.sliding(600.0, 300.0)
+        assert not spec.closes_at(300.0)  # partial head window not emitted
+        assert spec.closes_at(600.0)
+        assert spec.closes_at(900.0)
+        assert not spec.closes_at(1000.0)
+
+    def test_window_at_boundary(self):
+        spec = WindowSpec.sliding(600.0, 300.0)
+        assert spec.window_at(900.0) == (300.0, 900.0)
+        assert WindowSpec.tumbling(600.0).window_at(1200.0) == (600.0, 1200.0)

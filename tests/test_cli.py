@@ -270,6 +270,77 @@ class TestFederationCommands:
         assert header == "user,time,lat,lon,value"
 
 
+class TestStreamCommands:
+    def test_views_prints_closed_windows(self, raw_csv, capsys):
+        code = main(
+            [
+                "stream", "views",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--last", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "records into" in output
+        assert "ingested/window" in output
+        assert "cells" in output
+
+    def test_views_sliding_overlap(self, raw_csv, capsys):
+        code = main(
+            [
+                "stream", "views",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--slide", "7200",
+                "--last", "2",
+            ]
+        )
+        assert code == 0
+        assert "ingested/window" in capsys.readouterr().out
+
+    def test_alerts_exit_code_signals_firing(self, raw_csv, capsys):
+        # An absurd rate floor fires on every window -> exit 1.
+        code = main(
+            [
+                "stream", "alerts",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--rate-below", "1000",
+            ]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "[rate-below]" in output
+
+        # No query fired -> exit 0.
+        code = main(
+            [
+                "stream", "alerts",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--rate-below", "0.00001",
+            ]
+        )
+        assert code == 0
+        assert "0 alerts" in capsys.readouterr().out
+
+    def test_watch_streams_windows_live(self, raw_csv, capsys):
+        code = main(
+            [
+                "stream", "watch",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--limit", "4",
+                "--coverage-stalled", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.count("ingested/window") >= 4
+        assert "watched" in output
+
+
 class TestTaskCommands:
     @pytest.fixture()
     def good_spec(self, tmp_path):

@@ -25,6 +25,8 @@ PUBLIC_PACKAGES = [
     "repro.simulation",
     "repro.apisense",
     "repro.store",
+    "repro.streams",
+    "repro.federation",
     "repro.core",
 ]
 
