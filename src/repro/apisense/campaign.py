@@ -23,6 +23,7 @@ from repro.apisense.sensors import SensorSuite, default_sensor_suite
 from repro.apisense.tasks import SensingTask
 from repro.errors import PlatformError
 from repro.mobility.generator import PopulationData
+from repro.privacy.secure_aggregation import SecureAggregationPolicy
 from repro.simulation import Simulator
 from repro.units import DAY
 
@@ -48,6 +49,12 @@ class CampaignConfig:
     #: Probability that a wireless message (offer or upload) is lost;
     #: devices retry lost uploads at the next upload tick.
     uplink_loss: float = 0.0
+    #: Privacy tier: how secure aggregates over this campaign's data are
+    #: computed — per-device protocol selection (battery floor, key
+    #: size, dropout resilience); see :meth:`Campaign.secure_aggregate`.
+    secure_aggregation: SecureAggregationPolicy = field(
+        default_factory=SecureAggregationPolicy
+    )
     seed: int = 0
 
 
@@ -218,6 +225,16 @@ class Campaign:
                             * self.config.rejoin_factor
                         )
                         device.offer_task(task, rejoin)
+
+    def secure_aggregate(self, task_name: str, **kwargs):
+        """Aggregator-oblivious aggregates of one task's collected data.
+
+        Runs the config's :class:`~repro.privacy.secure_aggregation.
+        SecureAggregationPolicy` over the Hive's store and enrolled
+        devices; see :meth:`repro.apisense.hive.Hive.secure_aggregate`.
+        """
+        kwargs.setdefault("policy", self.config.secure_aggregation)
+        return self.hive.secure_aggregate(task_name, **kwargs)
 
     def report(self) -> CampaignReport:
         """Snapshot the campaign's statistics."""

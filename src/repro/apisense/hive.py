@@ -272,12 +272,19 @@ class Hive:
         stats.uploads += 1
         self.stats.messages_sent += 1
 
+        dropped_before = self.pipeline.stats.dropped
         accepted = self.pipeline.submit(records) if records else 0
         stats.records += accepted
-        if stats.first_record_time is None and accepted == len(records) and records:
-            # Only a fully-admitted batch pins the time: under partial
-            # admission (drop-oldest) the shed records' times are unknown
-            # here and must not be recorded as collected.
+        if (
+            stats.first_record_time is None
+            and records
+            and accepted == len(records)
+            and self.pipeline.stats.dropped == dropped_before
+        ):
+            # Only a fully-*retained* batch pins the time: when the gate
+            # sheds records (reject) or drop-oldest evicts any — possibly
+            # this batch's own head — the shed records' times must not be
+            # recorded as collected.
             stats.first_record_time = min(r.time for r in records)
 
         # A migrated device's first upload can land before (or without)
@@ -304,6 +311,50 @@ class Hive:
             owner = self._task_owner.get(task_name)
             if owner is not None:
                 owner.receive_dataset(task_name, batch)
+
+    # ------------------------------------------------------------------
+    # Privacy tier (secure aggregation)
+    # ------------------------------------------------------------------
+
+    def secure_participants(self, task_name: str | None = None):
+        """Protocol-selection profiles of the enrolled devices.
+
+        Maps each contributing user to a :class:`~repro.privacy.
+        secure_aggregation.ParticipantProfile` carrying the device's
+        *current* battery level, so the secure-aggregation policy can
+        route weak devices onto the cheap masking protocol.  With a
+        ``task_name``, only devices running that task are profiled; a
+        user with several devices is represented by its strongest one.
+        """
+        from repro.privacy.secure_aggregation import ParticipantProfile
+
+        now = self._sim.now
+        profiles: dict[str, ParticipantProfile] = {}
+        for device in self._devices.values():
+            if task_name is not None and task_name not in device.running_tasks:
+                continue
+            level = device.battery.level(now)
+            existing = profiles.get(device.user)
+            if existing is None or (existing.battery or 0.0) < level:
+                profiles[device.user] = ParticipantProfile(
+                    participant_id=device.user, battery=level
+                )
+        return profiles
+
+    def secure_aggregate(self, task_name: str, **kwargs):
+        """Aggregate one task's collected data aggregator-obliviously.
+
+        Single-deployment convenience over :meth:`repro.federation.
+        query.FederatedDataset.secure_aggregate` (this Hive's store as
+        the only member); keyword arguments pass through (``bin_edges``,
+        ``policy``, ``faults``, ``down``...).
+        """
+        from repro.federation.query import FederatedDataset
+
+        kwargs.setdefault("profiles", self.secure_participants(task_name))
+        return FederatedDataset({"local": self.store}).secure_aggregate(
+            task_name, **kwargs
+        )
 
     # ------------------------------------------------------------------
     # Daily bookkeeping

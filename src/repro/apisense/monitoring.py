@@ -52,8 +52,12 @@ class PlatformHealthReport:
     pipeline_flushes: int = 0
     pipeline_buffered: int = 0
     pipeline_backlog: int = 0
-    #: Backpressure counters: records shed (dropped/rejected) or parked
-    #: (spilled) by the ingest gateway since the campaign started.
+    #: Backpressure counters: records admitted, shed (dropped/rejected)
+    #: or parked (spilled) by the ingest gateway since the campaign
+    #: started.  Mutually exclusive per record — see
+    #: :class:`repro.store.pipeline.PipelineStats` — and reconciling:
+    #: ``accepted = store_records + dropped + buffered + backlog``.
+    pipeline_accepted: int = 0
     pipeline_dropped: int = 0
     pipeline_rejected: int = 0
     pipeline_spilled: int = 0
@@ -72,6 +76,22 @@ class PlatformHealthReport:
         """Records lost to backpressure (dropped + rejected)."""
         return self.pipeline_dropped + self.pipeline_rejected
 
+    @property
+    def pipeline_unaccounted(self) -> int:
+        """Admitted records the dashboard cannot place (0 when healthy).
+
+        ``accepted - dropped - buffered - backlog - store_records``;
+        non-zero means the gateway's counters double-counted a record
+        or the store was fed around the pipeline (bulk loads).
+        """
+        return (
+            self.pipeline_accepted
+            - self.pipeline_dropped
+            - self.pipeline_buffered
+            - self.pipeline_backlog
+            - self.store_records
+        )
+
     def to_text(self) -> str:
         lines = [
             f"platform health @ t={self.time:.0f}s",
@@ -88,9 +108,11 @@ class PlatformHealthReport:
             f"(mean batch {self.mean_flush_batch:.1f}), "
             f"{self.pipeline_buffered} buffered, {self.pipeline_backlog} spill backlog, "
             f"lag p95 {self.ingest_lag_p95:.1f}s",
-            f"  backpressure: {self.pipeline_dropped} dropped, "
+            f"  backpressure: {self.pipeline_accepted} admitted, "
+            f"{self.pipeline_dropped} dropped, "
             f"{self.pipeline_rejected} rejected, {self.pipeline_spilled} spilled "
-            f"({self.pipeline_shed} records shed)",
+            f"({self.pipeline_shed} records shed, "
+            f"{self.pipeline_unaccounted} unaccounted)",
             f"  streams: {self.stream_views} live views, last window "
             f"{self.stream_last_rate:.2f} rec/s, "
             f"{self.stream_alerts_unacked} unacked alerts",
@@ -139,6 +161,7 @@ def snapshot(hive: Hive, time: float, low_battery: float = 0.2, at_risk: float =
         pipeline_flushes=pipeline.stats.flushes,
         pipeline_buffered=pipeline.buffered,
         pipeline_backlog=pipeline.backlog,
+        pipeline_accepted=pipeline.stats.accepted,
         pipeline_dropped=pipeline.stats.dropped,
         pipeline_rejected=pipeline.stats.rejected,
         pipeline_spilled=pipeline.stats.spilled,

@@ -645,6 +645,37 @@ def cmd_federation_query(args: argparse.Namespace) -> int:
         print(f"  {name}: {stores[name].n_records} records stored")
     if len(batch):
         print(f"  time span [{batch.time.min():.0f}, {batch.time.max():.0f}]s")
+
+    if args.secure:
+        import random
+
+        import numpy as np
+
+        from repro.privacy.secure_aggregation import SecureAggregationPolicy
+
+        policy = SecureAggregationPolicy(
+            protocol=args.secure_protocol, key_bits=args.key_bits
+        )
+        result = federated.secure_aggregate(
+            args.task_name, policy=policy, rng=random.Random(args.task_name)
+        )
+        print()
+        print(result.to_text())
+        full = federated.scan(args.task_name)
+        finite = full.value[np.isfinite(full.value)]
+        tolerance = 0.5 * result.contributors / 1000.0 + 1e-9
+        ok = (
+            result.records == len(full)
+            and result.value_count == len(finite)
+            and abs(result.value_sum - float(finite.sum())) <= tolerance
+        )
+        print(
+            f"  plaintext cross-check: {len(full)} records, value sum "
+            f"{float(finite.sum()):.3f} -> {'match' if ok else 'MISMATCH'} "
+            "(no aggregator saw per-user data)"
+        )
+        if not ok:
+            return 1
     if args.out:
         import csv
 
@@ -654,6 +685,74 @@ def cmd_federation_query(args: argparse.Namespace) -> int:
             writer.writerows(batch.rows())
         print(f"wrote {len(batch)} rows to {args.out}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# ``privacy`` subcommands (secure aggregation, repro.privacy)
+# ----------------------------------------------------------------------
+
+
+def cmd_privacy_demo(args: argparse.Namespace) -> int:
+    """Run one secure-aggregation session end to end, with dropouts."""
+    import random
+
+    from repro.privacy.secure_aggregation import (
+        ParticipantProfile,
+        SecureAggregationPolicy,
+        SecureAggregationSession,
+    )
+    from repro.simulation import FaultInjector, Simulator
+
+    rng = random.Random(args.seed)
+    profiles = [
+        ParticipantProfile(f"device-{i:03d}", battery=rng.uniform(0.05, 1.0))
+        for i in range(args.devices)
+    ]
+    readings = {p.participant_id: [round(rng.uniform(-30.0, -90.0), 3)] for p in profiles}
+    policy = SecureAggregationPolicy(
+        protocol=args.protocol,
+        key_bits=args.key_bits,
+        paillier_battery_floor=args.battery_floor,
+        dropout_threshold=0.5,
+    )
+    sim = Simulator()
+    faults = FaultInjector(sim)
+    session = SecureAggregationSession(
+        "privacy-demo",
+        profiles,
+        components=("signal_dbm",),
+        policy=policy,
+        rng=random.Random(args.seed + 1),
+        faults=faults,
+    )
+    session.setup()
+    print(
+        f"session over {args.devices} devices: "
+        f"{len(session.paillier_cohort)} paillier / "
+        f"{len(session.masking_cohort)} masking"
+        + (f" (Shamir threshold {session.threshold})" if session.threshold else "")
+    )
+    victims = rng.sample(sorted(readings), k=min(args.dropouts, args.devices - 1))
+    for victim in victims:
+        faults.schedule_outage(f"device:{victim}", at=60.0)
+    sim.run()
+    if victims:
+        print(f"killed mid-session: {', '.join(victims)}")
+
+    result = session.run(readings)
+    expected = sum(v[0] for pid, v in readings.items() if pid not in result.dropped)
+    secure = result.sum("signal_dbm")
+    print(
+        f"secure sum over {result.contributors} survivors: {secure:.3f} "
+        f"(plaintext {expected:.3f}, |error| {abs(secure - expected):.2e})"
+    )
+    note = "the aggregator handled only ciphertexts and masked integers"
+    if session.masking_cohort and any(
+        pid in session.masking_cohort for pid in result.dropped
+    ):
+        note += "; dropped devices' masks were cancelled via Shamir shares"
+    print(note)
+    return 0 if abs(secure - expected) < 0.5 * max(1, result.contributors) / 1000.0 + 1e-9 else 1
 
 
 # ----------------------------------------------------------------------
@@ -980,7 +1079,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     federation_query.add_argument("--user", help="restrict to one user")
     federation_query.add_argument("--out", help="write matching rows as CSV")
+    federation_query.add_argument(
+        "--secure",
+        action="store_true",
+        help="also compute the task aggregate aggregator-obliviously "
+        "(secure aggregation across the member stores) and cross-check it",
+    )
+    federation_query.add_argument(
+        "--secure-protocol",
+        default="auto",
+        choices=["auto", "paillier", "masking"],
+        help="per-participant protocol selection (auto = by device profile)",
+    )
+    federation_query.add_argument(
+        "--key-bits", type=int, default=256, help="Paillier modulus size"
+    )
     federation_query.set_defaults(handler=cmd_federation_query)
+
+    privacy = commands.add_parser(
+        "privacy", help="privacy-tier operations (secure aggregation)"
+    )
+    privacy_commands = privacy.add_subparsers(
+        dest="privacy_command",
+        title="privacy subcommands",
+        required=True,
+    )
+
+    privacy_demo = privacy_commands.add_parser(
+        "demo",
+        help="run one secure-aggregation session with mid-session dropouts",
+    )
+    privacy_demo.add_argument("--devices", type=int, default=12)
+    privacy_demo.add_argument("--dropouts", type=int, default=2)
+    privacy_demo.add_argument(
+        "--protocol", default="auto", choices=["auto", "paillier", "masking"]
+    )
+    privacy_demo.add_argument("--key-bits", type=int, default=256)
+    privacy_demo.add_argument(
+        "--battery-floor",
+        type=float,
+        default=0.3,
+        help="devices below this battery level use the masking protocol",
+    )
+    privacy_demo.add_argument("--seed", type=int, default=0)
+    privacy_demo.set_defaults(handler=cmd_privacy_demo)
 
     task = commands.add_parser(
         "task", help="task lifecycle operations (vet / describe a task spec)"

@@ -34,9 +34,13 @@ from repro.federation.health import (
     MemberHealth,
     federation_snapshot,
 )
-from repro.federation.query import FederatedDataset, FederatedTaskAggregate
+from repro.federation.query import (
+    FederatedDataset,
+    FederatedSecureAggregate,
+    FederatedTaskAggregate,
+)
 from repro.federation.ring import ConsistentHashRing, PlacementDiff
-from repro.federation.streams import FederatedStreamMerger
+from repro.federation.streams import FederatedStreamMerger, SecureWindowTotals
 from repro.federation.router import (
     ControlPlaneStats,
     FederatedSyndicationReceipt,
@@ -54,8 +58,10 @@ __all__ = [
     "ControlPlaneStats",
     "FederatedSyndicationReceipt",
     "FederatedDataset",
+    "FederatedSecureAggregate",
     "FederatedStreamMerger",
     "FederatedTaskAggregate",
+    "SecureWindowTotals",
     "FederationHealthReport",
     "MemberHealth",
     "federation_snapshot",

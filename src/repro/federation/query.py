@@ -23,17 +23,25 @@ stay readable via :attr:`FederatedTaskAggregate.per_member`.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import StoreError
+from repro.privacy.secure_aggregation import (
+    ParticipantProfile,
+    SecureAggregationPolicy,
+    SecureAggregationSession,
+    histogram_components,
+)
 from repro.store.aggregates import TaskAggregate
 from repro.store.dataset_store import ColumnarBatch, DatasetStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.federation.router import FederationRouter
+    from repro.simulation import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,46 @@ class FederatedTaskAggregate:
                 f"  {name}: {member.records} records, {member.n_users} users, "
                 f"{member.coverage_cells} cells, p95 {member.lag_p95:.1f}s"
             )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FederatedSecureAggregate:
+    """Aggregates of one task computed without any aggregator seeing
+    per-participant data (see :meth:`FederatedDataset.secure_aggregate`).
+
+    ``records``/``value_count`` are exact (integers survive the
+    fixed-point codec); ``value_sum`` matches the plaintext sum within
+    codec tolerance (``0.5 * contributors / 10**decimals``).
+    """
+
+    task: str
+    records: int
+    value_count: int
+    value_sum: float
+    histogram: Mapping[str, int] | None
+    contributors: int
+    dropped: tuple[str, ...]
+    protocol_split: Mapping[str, int]
+    members: tuple[str, ...]
+
+    @property
+    def mean_value(self) -> float:
+        return self.value_sum / self.value_count if self.value_count else 0.0
+
+    def to_text(self) -> str:
+        split = ", ".join(
+            f"{name}:{count}" for name, count in sorted(self.protocol_split.items())
+        )
+        lines = [
+            f"secure aggregate of {self.task}: {self.records} records from "
+            f"{self.contributors} contributors across {len(self.members)} hives "
+            f"({split}; {len(self.dropped)} dropped), "
+            f"value sum {self.value_sum:.3f} / mean {self.mean_value:.3f}"
+        ]
+        if self.histogram is not None:
+            for label, count in self.histogram.items():
+                lines.append(f"  {label}: {count}")
         return "\n".join(lines)
 
 
@@ -241,4 +289,109 @@ class FederatedDataset:
             lag_p95=max(a.lag_p95 for a in per_member.values()),
             lag_p99=max(a.lag_p99 for a in per_member.values()),
             per_member=per_member,
+        )
+
+    # ------------------------------------------------------------------
+    # Secure aggregate path (the privacy tier)
+    # ------------------------------------------------------------------
+
+    def secure_aggregate(
+        self,
+        task: str,
+        *,
+        bin_edges: Sequence[float] | None = None,
+        policy: SecureAggregationPolicy | None = None,
+        profiles: Mapping[str, ParticipantProfile] | None = None,
+        rng: random.Random | None = None,
+        faults: "FaultInjector | None" = None,
+        fault_prefix: str = "device:",
+        down: "set[str] | frozenset[str]" = frozenset(),
+    ) -> FederatedSecureAggregate:
+        """Counts / sums / means / histograms, aggregator-obliviously.
+
+        Every (member, user) pair with data for ``task`` becomes one
+        protocol participant contributing its private partial vector —
+        record count, scalar-value count and sum, plus one histogram
+        bin-count per ``bin_edges`` bin (numpy convention: last bin
+        closed).  The protocols guarantee the folding parties see only
+        ciphertexts / masked integers; the decrypted federation totals
+        equal the plaintext :meth:`aggregate`/:meth:`scan` results
+        within fixed-point tolerance.
+
+        ``profiles`` (user id -> :class:`ParticipantProfile`, e.g. from
+        :meth:`repro.apisense.hive.Hive.secure_participants`) feeds the
+        per-device protocol selection; users without a profile are
+        treated as strong devices.  Dropouts come from ``down`` (user
+        ids) and from ``faults`` (components ``{fault_prefix}{user}``);
+        the returned totals cover the survivors only, and
+        ``dropped`` lists who fell out.
+        """
+        components = ["records", "value_count", "value_sum"]
+        if bin_edges is not None:
+            components.extend(histogram_components(bin_edges))
+        profiles = profiles or {}
+
+        participants: list[ParticipantProfile] = []
+        contributions: dict[str, list[float]] = {}
+        expanded_down: set[str] = set()
+        for name in sorted(self._stores):
+            batch = self._stores[name].scan(task)
+            if not len(batch):
+                continue
+            for uid in np.unique(batch.user_id):
+                user = batch.user_table[int(uid)]
+                mask = batch.user_id == uid
+                values = batch.value[mask]
+                finite = values[np.isfinite(values)]
+                vector = [
+                    float(mask.sum()),
+                    float(len(finite)),
+                    float(finite.sum()) if len(finite) else 0.0,
+                ]
+                if bin_edges is not None:
+                    counts, _ = np.histogram(finite, bins=np.asarray(bin_edges, dtype=float))
+                    vector.extend(float(c) for c in counts)
+                base = profiles.get(user)
+                pid = f"{name}:{user}"
+                participants.append(
+                    ParticipantProfile(
+                        participant_id=pid,
+                        battery=base.battery if base else None,
+                        supports_paillier=base.supports_paillier if base else True,
+                        member=name,
+                    )
+                )
+                contributions[pid] = vector
+                if user in down or pid in down:
+                    expanded_down.add(pid)
+                elif faults is not None and faults.is_down(f"{fault_prefix}{user}"):
+                    expanded_down.add(pid)
+        if not contributions:
+            raise StoreError(f"no member holds records for task {task!r}")
+
+        session = SecureAggregationSession(
+            task,
+            participants,
+            components=components,
+            policy=policy,
+            rng=rng,
+        )
+        result = session.run(contributions, down=expanded_down)
+
+        histogram = None
+        if bin_edges is not None:
+            histogram = {
+                label: int(round(result.sums[label]))
+                for label in components[3:]
+            }
+        return FederatedSecureAggregate(
+            task=task,
+            records=int(round(result.sums["records"])),
+            value_count=int(round(result.sums["value_count"])),
+            value_sum=result.sums["value_sum"],
+            histogram=histogram,
+            contributors=result.contributors,
+            dropped=result.dropped,
+            protocol_split=result.protocol_split,
+            members=tuple(self.member_names),
         )

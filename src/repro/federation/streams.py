@@ -19,8 +19,12 @@ boundary **every** member has closed.
 
 from __future__ import annotations
 
+import hashlib
+import struct
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Mapping
 
+from repro.crypto import FixedPointCodec, MaskedAggregation, MaskingParticipant
 from repro.errors import StreamError
 from repro.streams.engine import StreamEngine
 from repro.streams.queries import StreamAlert
@@ -28,6 +32,48 @@ from repro.streams.views import WindowSnapshot, merge_snapshots
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.federation.router import FederationRouter
+
+#: Component order of the secure window fold (additive stats only).
+SECURE_WINDOW_COMPONENTS = ("records", "value_count", "value_sum")
+
+
+@dataclass(frozen=True)
+class SecureWindowTotals:
+    """One window's federation-wide additive totals, securely folded.
+
+    Only the exactly-additive window state travels the masking protocol
+    (record count, scalar-value count and sum) — cells and sketches are
+    set/CDF-structured and stay member-local.  ``protocol`` records how
+    the fold ran: ``"masking"`` for a real multi-member round,
+    ``"plaintext"`` when a single member held the window (masking a
+    cohort of one would hide nothing from anyone).
+    """
+
+    task: str
+    view: str
+    start: float
+    end: float
+    members: tuple[str, ...]
+    records: int
+    value_count: int
+    value_sum: float
+    protocol: str
+
+    @property
+    def rate(self) -> float:
+        duration = self.end - self.start
+        return self.records / duration if duration else 0.0
+
+    @property
+    def mean_value(self) -> float:
+        return self.value_sum / self.value_count if self.value_count else 0.0
+
+    def to_text(self) -> str:
+        return (
+            f"[{self.start:.0f},{self.end:.0f})s {self.task}/{self.view} (secure, "
+            f"{len(self.members)} hives, {self.protocol}): {self.records} rec "
+            f"({self.rate:.2f}/s), value mean {self.mean_value:.3f}"
+        )
 
 
 class FederatedStreamMerger:
@@ -138,6 +184,106 @@ class FederatedStreamMerger:
                 s.end for s in engine.snapshots(task, view) if s.end <= horizon
             )
         return [self.merged(task, view, end=end) for end in sorted(ends)]
+
+    # ------------------------------------------------------------------
+    # Secure merge path (the privacy tier)
+    # ------------------------------------------------------------------
+
+    def secure_totals(
+        self,
+        task: str,
+        view: str,
+        end: float | None = None,
+        *,
+        decimals: int = 3,
+        group_seed: bytes | None = None,
+    ) -> SecureWindowTotals:
+        """Fold one window's additive totals without reading pane state.
+
+        Each member Hive acts as one masking participant: it blinds its
+        per-window partials (record count, value count, value sum) with
+        the pairwise masks before anything leaves the hive, so the
+        merger — and every other hive — sees only uniformly masked
+        integers whose sum unmasks to the federation totals.  The result
+        matches :meth:`merged` exactly on counts and within fixed-point
+        tolerance on ``value_sum``.
+
+        ``group_seed`` is the cohort secret (shared at federation join
+        time in a deployment); the default derives one from the (task,
+        view) identity, and per-window/per-component mask streams are
+        separated through the round id.
+        """
+        if end is None:
+            end = self.common_boundary(task, view)
+            if end is None:
+                raise StreamError(
+                    f"no member has closed a window of {task!r}/{view!r} yet"
+                )
+        pieces = list(self.iter_member_snapshots(task, view, end))
+        if not pieces:
+            raise StreamError(
+                f"no member retains the {task!r}/{view!r} window ending at {end}"
+            )
+        members = tuple(name for name, _ in pieces)
+        start = pieces[0][1].start
+        if len(pieces) == 1:
+            # A cohort of one cannot hide anything from itself; report
+            # the member's own totals and say so.
+            only = pieces[0][1]
+            return SecureWindowTotals(
+                task=task, view=view, start=start, end=end, members=members,
+                records=only.records, value_count=only.value_count,
+                value_sum=only.value_sum, protocol="plaintext",
+            )
+        codec = FixedPointCodec(decimals)
+        seed = group_seed or f"fed-stream\x00{task}\x00{view}".encode()
+        n = len(pieces)
+        # Distinct mask streams per (window, component): the same cohort
+        # seed serves every round without mask reuse.  The window tag
+        # hashes the *exact* float boundary — truncating/rounding it
+        # would collide fractional ends (e.g. 100.0 vs 100.5) and mask
+        # reuse across windows leaks per-hive plaintext deltas.
+        window_tag = int.from_bytes(
+            hashlib.sha256(struct.pack(">d", end)).digest()[:7], "big"
+        )
+        round_base = window_tag * len(SECURE_WINDOW_COMPONENTS)
+        totals: list[float] = []
+        for offset, component in enumerate(SECURE_WINDOW_COMPONENTS):
+            aggregation = MaskedAggregation(n, codec=codec)
+            for position, (_name, snapshot) in enumerate(pieces):
+                participant = MaskingParticipant(position, n, seed, codec=codec)
+                aggregation.accept(
+                    participant.masked_value(
+                        float(getattr(snapshot, component)),
+                        round_id=round_base + offset,
+                    )
+                )
+            totals.append(aggregation.result_sum())
+        return SecureWindowTotals(
+            task=task,
+            view=view,
+            start=start,
+            end=end,
+            members=members,
+            records=int(round(totals[0])),
+            value_count=int(round(totals[1])),
+            value_sum=totals[2],
+            protocol="masking",
+        )
+
+    def secure_dashboard(self, view: str) -> str:
+        """The live dashboard built from secure folds only."""
+        lines = [
+            f"federated secure dashboard ({len(self._engines)} hives, view {view!r})"
+        ]
+        for task in self.tasks:
+            try:
+                totals = self.secure_totals(task, view)
+            except StreamError:
+                lines.append(f"  {task}: no closed window yet")
+                continue
+            lines.append("  " + totals.to_text())
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Alerts / dashboard

@@ -10,7 +10,14 @@ where a user dwells — leak semantics and identity.  This package provides
   is compared against (geo-indistinguishability);
 - attacks (:mod:`repro.privacy.attacks`): POI retrieval and POI-profile
   re-identification;
-- privacy metrics (:mod:`repro.privacy.metrics`).
+- privacy metrics (:mod:`repro.privacy.metrics`);
+- secure-aggregation orchestration (:mod:`repro.privacy.
+  secure_aggregation`): the :mod:`repro.crypto` protocols (Paillier,
+  pairwise masking, Shamir-backed dropout recovery) run as a platform
+  service over a task's enrolled devices, with per-device protocol
+  selection — the integration points are
+  :meth:`repro.federation.query.FederatedDataset.secure_aggregate` and
+  :meth:`repro.federation.streams.FederatedStreamMerger.secure_totals`.
 """
 
 from repro.privacy.pois import Poi, PoiExtractor, PoiExtractorConfig, StayPoint
@@ -29,6 +36,14 @@ from repro.privacy.attacks import (
     home_identification_rate,
 )
 from repro.privacy.budget import PrivacyBudgetLedger, UserBudget
+from repro.privacy.secure_aggregation import (
+    PROTOCOLS,
+    ParticipantProfile,
+    SecureAggregate,
+    SecureAggregationPolicy,
+    SecureAggregationSession,
+    histogram_components,
+)
 from repro.privacy.metrics import (
     mean_spatial_distortion_m,
     poi_precision,
@@ -53,6 +68,12 @@ __all__ = [
     "home_identification_rate",
     "PrivacyBudgetLedger",
     "UserBudget",
+    "PROTOCOLS",
+    "ParticipantProfile",
+    "SecureAggregate",
+    "SecureAggregationPolicy",
+    "SecureAggregationSession",
+    "histogram_components",
     "mean_spatial_distortion_m",
     "poi_precision",
     "poi_recall",

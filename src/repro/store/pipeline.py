@@ -59,7 +59,21 @@ FlushListener = Callable[[list["SensorRecord"]], None]
 
 @dataclass
 class PipelineStats:
-    """Counters of one ingestion pipeline."""
+    """Counters of one ingestion pipeline.
+
+    Per record the counters are mutually exclusive and reconcile:
+
+    - ``submitted = accepted + rejected`` — every offered record is
+      either admitted or bounced at the gate (``reject`` policy);
+    - ``dropped`` counts *admitted* records later evicted by the
+      ``drop-oldest`` policy (including a giant batch's own head,
+      admitted and evicted in the same call), so at any instant
+      ``accepted = flushed_records + dropped + buffered + backlog``;
+    - ``spilled`` tags admitted records that took the spill-queue
+      detour; they are never dropped and all eventually flush.
+
+    :attr:`IngestPipeline.unaccounted` asserts the second identity.
+    """
 
     submitted: int = 0
     accepted: int = 0
@@ -148,6 +162,24 @@ class IngestPipeline:
         """Records parked in spill queues (``spill`` policy only)."""
         return sum(len(s.spill) for s in self._shards)
 
+    @property
+    def unaccounted(self) -> int:
+        """Admitted records the counters cannot place (always 0).
+
+        Every accepted record is exactly one of: already flushed,
+        evicted by ``drop-oldest``, waiting in a buffer, or parked in a
+        spill queue.  A non-zero value means the backpressure accounting
+        double- or under-counted — regression-tested invariant.
+        """
+        stats = self.stats
+        return (
+            stats.accepted
+            - stats.flushed_records
+            - stats.dropped
+            - self.buffered
+            - self.backlog
+        )
+
     # ------------------------------------------------------------------
     # Ingest path
     # ------------------------------------------------------------------
@@ -185,9 +217,14 @@ class IngestPipeline:
             self.stats.rejected += len(batch)
             return 0
         elif self.policy == "drop-oldest":
+            # The policy admits the whole batch and evicts the oldest
+            # records to make room — possibly the batch's own head when
+            # the batch alone exceeds capacity.  Either way every batch
+            # record counts as accepted and every evicted record (from
+            # the buffer or the head) as dropped, keeping the counters
+            # one-per-record: accepted = flushed + dropped + in flight.
             keep = batch
             if len(batch) >= self.buffer_capacity:
-                # Batch alone exceeds capacity: only its newest tail fits.
                 self.stats.dropped += len(shard.buffer) + len(batch) - self.buffer_capacity
                 shard.buffer.clear()
                 keep = batch[-self.buffer_capacity :]
@@ -197,7 +234,7 @@ class IngestPipeline:
                     shard.buffer.popleft()
                 self.stats.dropped += overflow
             shard.buffer.extend(keep)
-            accepted = len(keep)
+            accepted = len(batch)
         else:  # spill
             head, tail = batch[:free], batch[free:]
             shard.buffer.extend(head)

@@ -116,15 +116,11 @@ class P2Quantile:
         """This sketch as a piecewise-linear CDF: (heights, fractions).
 
         Heights are strictly the observed value range; fractions map the
-        minimum to 0 and the maximum to 1.  Small sketches (≤ 5
-        observations) use their exact sorted samples at mid-rank
-        fractions.
+        minimum to 0 and the maximum to 1.  Only valid once the markers
+        are live (>= 5 observations — :meth:`add` initializes them at
+        exactly the fifth); smaller sketches still hold their raw sorted
+        sample and are pooled directly by :meth:`merge`.
         """
-        if self._count <= 5:
-            c = self._count
-            if c == 1:
-                return [self._q[0]], [0.5]
-            return list(self._q), [i / (c - 1) for i in range(c)]
         span = self._count - 1
         return list(self._q), [(n - 1.0) / span for n in self._n]
 
@@ -150,17 +146,22 @@ class P2Quantile:
         live = [s for s in sketches if s._count]
         if not live:
             return merged
-        total = sum(s._count for s in live)
-        if total <= 5:
-            # Every member is tiny and still holds its raw samples.
-            for sketch in live:
+        # Members with < 5 observations have no live marker state — their
+        # ``_q`` is still the raw sorted sample (and ``_n`` is all zeros),
+        # so the CDF combination cannot read them.  Degrade gracefully:
+        # pool their raw samples into the merged sketch one by one.
+        small = [s for s in live if s._count < 5]
+        big = [s for s in live if s._count >= 5]
+        if not big:
+            for sketch in small:
                 for x in sketch._q:
                     merged.add(x)
             return merged
+        total = sum(s._count for s in big)
 
-        # Count-weighted piecewise-linear CDF combination, inverted at
-        # the five marker quantiles.
-        curves = [(s._count, *s._cdf_points()) for s in live]
+        # Count-weighted piecewise-linear CDF combination over the
+        # marker-live members, inverted at the five marker quantiles.
+        curves = [(s._count, *s._cdf_points()) for s in big]
         grid = sorted({h for _, heights, _ in curves for h in heights})
         combined = []
         for h in grid:
@@ -189,6 +190,11 @@ class P2Quantile:
         merged._q = q
         merged._n = n
         merged._np = [1.0 + (total - 1) * d for d in dn]
+        # The merged sketch is live; absorb the small members' raw
+        # samples like any other stream of observations.
+        for sketch in small:
+            for x in sketch._q:
+                merged.add(x)
         return merged
 
 

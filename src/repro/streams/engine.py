@@ -265,11 +265,14 @@ class StreamEngine:
         edge = 0.0
         for spec in self._views.values():
             # Strictly past the last record: a record stamped exactly on
-            # a slide boundary belongs to the *next* window (panes are
-            # half-open), so that window must be emitted too.
+            # a slide boundary belongs to the *next* pane (panes are
+            # half-open), so windows containing that pane must be
+            # emitted too — for a sliding view the record appears in
+            # ``panes_per_window`` windows, the last of which closes
+            # ``size - slide`` after the first.
             boundary = (
                 math.floor(self._max_event_time / spec.slide + 1e-9) + 1
-            ) * spec.slide
+            ) * spec.slide + (spec.size - spec.slide)
             edge = max(edge, max(boundary, spec.size))
         last = int(round(edge / self.pane_seconds))
         self._close_through(max(last, self._closed_pane))

@@ -31,13 +31,15 @@ CellIndex = tuple[int, int]
 class PaneStats:
     """Accumulated statistics of one task over one pane of the stream."""
 
-    __slots__ = ("start", "end", "records", "user_counts", "cells",
-                 "value_sketches", "lag_sketches")
+    __slots__ = ("start", "end", "records", "value_count", "value_sum",
+                 "user_counts", "cells", "value_sketches", "lag_sketches")
 
     def __init__(self, start: float, end: float):
         self.start = start
         self.end = end
         self.records = 0
+        self.value_count = 0
+        self.value_sum = 0.0
         self.user_counts: dict[str, int] = {}
         self.cells: set[CellIndex] = set()
         self.value_sketches = {p: P2Quantile(p) for p in VIEW_QUANTILES}
@@ -56,6 +58,8 @@ class PaneStats:
         if cell is not None:
             self.cells.add(cell)
         if value is not None:
+            self.value_count += 1
+            self.value_sum += value
             for sketch in self.value_sketches.values():
                 sketch.add(value)
         if lag is not None:
@@ -81,10 +85,20 @@ class WindowSnapshot:
     cells: frozenset[CellIndex]
     value_quantiles: Mapping[float, P2Quantile]
     lag_quantiles: Mapping[float, P2Quantile]
+    #: Additive scalar-value state: records carrying a scalar value and
+    #: their sum.  Exactly mergeable (unlike the sketches), which is
+    #: what the federation's *secure* window fold aggregates.
+    value_count: int = 0
+    value_sum: float = 0.0
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def mean_value(self) -> float:
+        """Mean scalar value over the window (0.0 when none were seen)."""
+        return self.value_sum / self.value_count if self.value_count else 0.0
 
     @property
     def rate(self) -> float:
@@ -131,29 +145,30 @@ def _fold_window(
     view: str,
     start: float,
     end: float,
-    parts: Sequence[tuple[int, Mapping[str, int], "frozenset[CellIndex] | set[CellIndex]",
+    parts: Sequence[tuple[int, int, float, Mapping[str, int],
+                          "frozenset[CellIndex] | set[CellIndex]",
                           Mapping[float, P2Quantile], Mapping[float, P2Quantile]]],
 ) -> WindowSnapshot:
     """The one fold both assembly paths share.
 
-    ``parts`` are ``(records, user_counts, cells, value_sketches,
-    lag_sketches)`` tuples — pane slices of one engine or same-window
-    snapshots of federation members.  Keeping a single fold is what
-    guarantees pane-assembly and cross-hive merging stay semantically
-    identical (merged members == monolithic engine).
+    ``parts`` are ``(records, value_count, value_sum, user_counts,
+    cells, value_sketches, lag_sketches)`` tuples — pane slices of one
+    engine or same-window snapshots of federation members.  Keeping a
+    single fold is what guarantees pane-assembly and cross-hive merging
+    stay semantically identical (merged members == monolithic engine).
     """
     user_counts: dict[str, int] = {}
     cells: set[CellIndex] = set()
-    for _records, part_users, part_cells, _vq, _lq in parts:
+    for _records, _vc, _vs, part_users, part_cells, _vq, _lq in parts:
         for user, count in part_users.items():
             user_counts[user] = user_counts.get(user, 0) + count
         cells |= part_cells
     value_q = {
-        p: P2Quantile.merge([vq[p] for _, _, _, vq, _ in parts] or [P2Quantile(p)])
+        p: P2Quantile.merge([vq[p] for *_head, vq, _lq in parts] or [P2Quantile(p)])
         for p in VIEW_QUANTILES
     }
     lag_q = {
-        p: P2Quantile.merge([lq[p] for _, _, _, _, lq in parts] or [P2Quantile(p)])
+        p: P2Quantile.merge([lq[p] for *_head, lq in parts] or [P2Quantile(p)])
         for p in VIEW_QUANTILES
     }
     return WindowSnapshot(
@@ -166,6 +181,8 @@ def _fold_window(
         cells=frozenset(cells),
         value_quantiles=value_q,
         lag_quantiles=lag_q,
+        value_count=sum(part[1] for part in parts),
+        value_sum=sum(part[2] for part in parts),
     )
 
 
@@ -188,7 +205,8 @@ def snapshot_from_panes(
         start,
         end,
         [
-            (p.records, p.user_counts, p.cells, p.value_sketches, p.lag_sketches)
+            (p.records, p.value_count, p.value_sum, p.user_counts, p.cells,
+             p.value_sketches, p.lag_sketches)
             for p in panes
         ],
     )
@@ -219,7 +237,8 @@ def merge_snapshots(snapshots: Sequence[WindowSnapshot]) -> WindowSnapshot:
         head.start,
         head.end,
         [
-            (s.records, s.user_counts, s.cells, s.value_quantiles, s.lag_quantiles)
+            (s.records, s.value_count, s.value_sum, s.user_counts, s.cells,
+             s.value_quantiles, s.lag_quantiles)
             for s in snapshots
         ],
     )

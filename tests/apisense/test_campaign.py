@@ -125,3 +125,36 @@ class TestPreferencesInCampaign:
         assert set(report.records_per_task) == {"mobility", "net"}
         assert campaign.honeycomb("lab-a").n_records("mobility") == report.records_per_task["mobility"]
         assert campaign.honeycomb("lab-b").n_records("net") == report.records_per_task["net"]
+
+
+class TestSecureAggregate:
+    """The privacy tier over a finished campaign (end-to-end path)."""
+
+    def test_secure_equals_plaintext_on_campaign_data(self, finished_campaign):
+        import random
+
+        import numpy as np
+
+        from repro.privacy.secure_aggregation import SecureAggregationPolicy
+
+        campaign, _, report = finished_campaign
+        result = campaign.secure_aggregate(
+            "mobility",
+            policy=SecureAggregationPolicy(key_bits=128),
+            rng=random.Random(21),
+        )
+        batch = campaign.hive.store.scan("mobility")
+        finite = batch.value[np.isfinite(batch.value)]
+        assert result.records == len(batch)
+        assert result.value_count == len(finite)
+        assert result.value_sum == pytest.approx(
+            float(finite.sum()), abs=0.5 * result.contributors / 1000.0
+        )
+        assert result.dropped == ()
+
+    def test_profiles_carry_live_battery_levels(self, finished_campaign):
+        campaign, _, _ = finished_campaign
+        profiles = campaign.hive.secure_participants()
+        assert profiles  # every registered device's user is profiled
+        for profile in profiles.values():
+            assert 0.0 <= profile.battery <= 1.0

@@ -99,3 +99,51 @@ class TestSnapshot:
         assert report.pipeline_spilled == pipeline.stats.spilled == 0
         assert report.pipeline_shed == 5
         assert "5 rejected" in report.to_text()
+
+
+class TestBackpressureReconciliation:
+    """Regression: the dashboard's backpressure totals reconcile with
+    records admitted — accepted = store + dropped + buffered + backlog,
+    with every record in at most one shed/parked counter."""
+
+    def test_mid_campaign_snapshot_reconciles(self, mid_campaign):
+        report = snapshot(mid_campaign.hive, mid_campaign.sim.now)
+        assert report.pipeline_unaccounted == 0
+        assert "unaccounted" in report.to_text()
+
+    def test_reconciles_under_drop_oldest_overload(self):
+        from repro.apisense.device import SensorRecord
+        from repro.apisense.hive import Hive
+        from repro.simulation import Simulator
+        from repro.store import DatasetStore, IngestPipeline
+
+        sim = Simulator()
+        store = DatasetStore(n_shards=1)
+        pipeline = IngestPipeline(
+            sim, store, policy="drop-oldest", buffer_capacity=4, flush_delay=10.0
+        )
+        hive = Hive(sim, pipeline=pipeline)
+
+        class _Owner:
+            def receive_dataset(self, task, batch):
+                pass
+
+        from repro.apisense.tasks import SensingTask
+
+        hive.adopt_task(
+            SensingTask(name="t", sensors=("gps",), sampling_period=60.0), _Owner()
+        )
+        records = [
+            SensorRecord(device_id="d", user="u", task="t", time=float(i), values={})
+            for i in range(11)
+        ]
+        hive.receive_upload("d", "u", "t", records)  # giant batch: head evicted
+        report = snapshot(hive, sim.now)
+        assert report.pipeline_accepted == 11
+        assert report.pipeline_dropped == 7
+        assert report.pipeline_unaccounted == 0
+        sim.run()
+        pipeline.flush_all()
+        report = snapshot(hive, sim.now)
+        assert report.pipeline_unaccounted == 0
+        assert report.store_records == 4

@@ -285,8 +285,9 @@ class TestRetryOrdering:
     def test_oversized_batch_partial_admission_counts_kept_tail(
         self, small_population, sensor_suite
     ):
-        """A batch larger than the whole buffer admits only its newest
-        tail; stats.records reflects the kept tail, not the submission."""
+        """A batch larger than the whole buffer is admitted whole; all
+        but its newest tail is immediately evicted and counted dropped,
+        so admitted - dropped == stored (one counter per record)."""
         from repro.apisense.incentives import UserState
         from repro.store import DatasetStore, IngestPipeline
 
@@ -305,13 +306,15 @@ class TestRetryOrdering:
 
         batch = make_filler_records(40)
         accepted = hive.receive_upload("dev-f", "filler", "saf", batch)
-        assert accepted == 16  # newest tail only
-        assert hive.stats.per_task["saf"].records == 16
-        # Partial admission must not pin first_record_time: the shed
-        # records' times are unknown to the platform.
+        assert accepted == 40  # whole batch admitted...
+        assert pipeline.stats.dropped == 24  # ...head evicted on the spot
+        assert hive.stats.per_task["saf"].records == 40
+        # Immediate eviction must not pin first_record_time: the shed
+        # records' times were never retained by the platform.
         assert hive.stats.per_task["saf"].first_record_time is None
         pipeline.flush_all()
         assert hive.store.n_records == 16
+        assert pipeline.unaccounted == 0
         stored_times = sorted(
             float(t) for t in hive.store.scan("saf").time
         )

@@ -1,0 +1,110 @@
+"""Property tests for the crypto substrate (hypothesis).
+
+Round-trip laws of the fixed-point codec — including negative values,
+values near the Paillier plaintext-space edge, and homomorphic sums of
+many encodings staying clear of modular wraparound — plus the masking
+protocol's cancellation law over random participant sets.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import FixedPointCodec, MaskedAggregation, MaskingParticipant, generate_keypair
+from repro.crypto.masking import MODULUS
+
+#: One small keypair shared by every example (keygen dominates runtime).
+KEYS = generate_keypair(128, random.Random(20140901))
+
+finite_values = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestFixedPointCodecRoundTrip:
+    @given(value=finite_values, decimals=st.integers(min_value=0, max_value=6))
+    def test_round_trip_within_half_ulp(self, value, decimals):
+        codec = FixedPointCodec(decimals)
+        # encode() rounds to the nearest fixed-point step, so the decode
+        # lands within half a step of the original (both signs); the
+        # relative slack absorbs float error at exactly-half-step inputs.
+        assert abs(codec.decode(codec.encode(value)) - value) <= (
+            0.5 / codec.scale
+        ) * (1.0 + 1e-9)
+
+    @given(value=finite_values)
+    def test_negative_values_encrypt_and_round_trip(self, value):
+        codec = FixedPointCodec(3)
+        encoded = codec.encode(value)
+        decrypted = KEYS.private_key.decrypt(KEYS.public_key.encrypt(encoded))
+        assert decrypted == encoded
+        assert codec.decode(decrypted) == pytest.approx(value, abs=0.5 / codec.scale)
+
+    @given(offset=st.integers(min_value=0, max_value=1000), sign=st.sampled_from([1, -1]))
+    def test_values_near_plaintext_space_edge(self, offset, sign):
+        # The largest representable magnitudes (n // 3) round-trip as
+        # signed integers instead of wrapping into the other half-space.
+        plaintext = sign * (KEYS.public_key.max_plaintext - offset)
+        decrypted = KEYS.private_key.decrypt(KEYS.public_key.encrypt(plaintext))
+        assert decrypted == plaintext
+
+    @settings(deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_homomorphic_sums_do_not_wrap_around(self, values):
+        # Many encodings summed under encryption decode to the sum of
+        # the encodings — no wraparound while |sum| stays within the
+        # signed headroom (30 * 1e6 * 10^3 << 2^128 // 3).
+        codec = FixedPointCodec(3)
+        encodings = [codec.encode(v) for v in values]
+        assert abs(sum(encodings)) <= KEYS.public_key.max_plaintext
+        total = KEYS.public_key.encrypt(encodings[0])
+        for encoded in encodings[1:]:
+            total = total + KEYS.public_key.encrypt(encoded)
+        assert KEYS.private_key.decrypt(total) == sum(encodings)
+
+
+class TestMaskingCancellation:
+    @settings(deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=12,
+        ),
+        seed=st.binary(min_size=1, max_size=16),
+        round_id=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_masks_cancel_over_random_participant_sets(self, values, seed, round_id):
+        # Sum of the masked values == sum of the plaintexts: every
+        # pairwise mask is added once and subtracted once.
+        n = len(values)
+        codec = FixedPointCodec(3)
+        aggregation = MaskedAggregation(n, codec=codec)
+        for index, value in enumerate(values):
+            participant = MaskingParticipant(index, n, seed, codec=codec)
+            aggregation.accept(participant.masked_value(value, round_id=round_id))
+        expected = codec.decode_sum(sum(codec.encode(v) for v in values))
+        assert aggregation.result_sum() == pytest.approx(expected, abs=1e-9)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_masked_values_stay_in_modulus_range(self, values):
+        n = len(values)
+        for index, value in enumerate(values):
+            masked = MaskingParticipant(index, n, b"range").masked_value(value)
+            assert 0 <= masked < MODULUS

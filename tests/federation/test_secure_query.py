@@ -1,0 +1,206 @@
+"""The privacy tier over the federated planes: secure == plaintext.
+
+Fixed-seed multi-hive workloads, batch and live: the aggregates the
+crypto protocols compute (counts/sums/means/histograms over the member
+stores, per-window additive totals over the member stream engines) must
+match what the plaintext merge paths report — exactly on counts, within
+fixed-point tolerance on value sums — including with devices dropping
+mid-session.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError, StreamError
+from repro.federation import FederatedDataset, FederatedStreamMerger
+from repro.federation.ring import ConsistentHashRing
+from repro.privacy.secure_aggregation import (
+    ParticipantProfile,
+    SecureAggregationPolicy,
+)
+from repro.simulation import FaultInjector, Simulator
+from repro.streams import StreamEngine, WindowSpec
+from tests.federation.test_query import TASK, make_records, shard_records
+from tests.federation.test_stream_merge import run_member, shard_by_ring, workload
+
+POLICY = SecureAggregationPolicy(key_bits=128, paillier_battery_floor=0.5)
+BIN_EDGES = [0.0, 1000.0, 2000.0, 4000.0]
+
+
+@pytest.fixture(scope="module", params=[1, 3])
+def federated(request) -> FederatedDataset:
+    return FederatedDataset(shard_records(request.param))
+
+
+def plaintext_truth(federated, exclude_users=frozenset()):
+    batch = federated.scan(TASK)
+    keep = np.array(
+        [name not in exclude_users for name in batch.user_names()], dtype=bool
+    )
+    values = batch.value[keep]
+    finite = values[np.isfinite(values)]
+    return {
+        "records": int(keep.sum()),
+        "value_count": len(finite),
+        "value_sum": float(finite.sum()),
+        "histogram": np.histogram(finite, bins=BIN_EDGES)[0].tolist(),
+    }
+
+
+class TestSecureAggregate:
+    def test_matches_plaintext_aggregates(self, federated):
+        result = federated.secure_aggregate(
+            TASK, bin_edges=BIN_EDGES, policy=POLICY, rng=random.Random(11)
+        )
+        truth = plaintext_truth(federated)
+        assert result.records == truth["records"]
+        assert result.value_count == truth["value_count"]
+        tolerance = 0.5 * result.contributors / 1000.0
+        assert result.value_sum == pytest.approx(truth["value_sum"], abs=tolerance)
+        assert result.mean_value == pytest.approx(
+            truth["value_sum"] / truth["value_count"], abs=0.01
+        )
+        assert list(result.histogram.values()) == truth["histogram"]
+        assert result.dropped == ()
+        # Also cross-check against the streaming aggregate view.
+        assert result.records == federated.aggregate(TASK).records
+
+    def test_protocol_selection_follows_profiles(self, federated):
+        users = sorted(set(federated.scan(TASK).user_names()))
+        weak = set(users[::3])
+        profiles = {
+            user: ParticipantProfile(
+                user, battery=0.1 if user in weak else 0.9
+            )
+            for user in users
+        }
+        result = federated.secure_aggregate(
+            TASK, policy=POLICY, profiles=profiles, rng=random.Random(12)
+        )
+        split = result.protocol_split
+        assert split["masking"] >= len(weak) or len(weak) < 2
+        assert split["paillier"] + split["masking"] == result.contributors
+        assert result.records == plaintext_truth(federated)["records"]
+
+    def test_dropouts_still_reconstruct_the_sum(self, federated):
+        # k devices die mid-session (FaultInjector outages between the
+        # session's dealing and the collection round); the surviving
+        # cohort's sums still come out — and equal the survivors' truth.
+        sim = Simulator()
+        faults = FaultInjector(sim)
+        users = sorted(set(federated.scan(TASK).user_names()))
+        killed = set(users[2:5])
+        for user in killed:
+            faults.schedule_outage(f"device:{user}", at=100.0)
+        sim.run()
+        result = federated.secure_aggregate(
+            TASK, policy=POLICY, rng=random.Random(13), faults=faults
+        )
+        truth = plaintext_truth(federated, exclude_users=killed)
+        assert len(result.dropped) == len(killed)
+        assert result.records == truth["records"]
+        assert result.value_sum == pytest.approx(
+            truth["value_sum"], abs=0.5 * result.contributors / 1000.0
+        )
+
+    def test_explicit_down_set_by_user_id(self, federated):
+        users = sorted(set(federated.scan(TASK).user_names()))
+        down = {users[0]}
+        result = federated.secure_aggregate(
+            TASK, policy=POLICY, rng=random.Random(14), down=down
+        )
+        truth = plaintext_truth(federated, exclude_users=down)
+        assert result.records == truth["records"]
+
+    def test_unknown_task_rejected(self, federated):
+        with pytest.raises(StoreError):
+            federated.secure_aggregate("no-such-task", policy=POLICY)
+
+
+class TestSecureStreamMerge:
+    @pytest.fixture(scope="class")
+    def merger(self) -> FederatedStreamMerger:
+        shards = shard_by_ring(workload(), 4)
+        return FederatedStreamMerger(
+            {name: run_member(records) for name, records in shards.items()}
+        )
+
+    def test_secure_totals_match_merged_window(self, merger):
+        task = merger.tasks[0]
+        for snapshot in merger.history(task, "w"):
+            totals = merger.secure_totals(task, "w", end=snapshot.end)
+            assert totals.protocol == "masking"
+            assert totals.records == snapshot.records
+            assert totals.value_count == snapshot.value_count
+            assert totals.value_sum == pytest.approx(
+                snapshot.value_sum, abs=0.5 * len(totals.members) / 1000.0
+            )
+            assert totals.mean_value == pytest.approx(
+                snapshot.mean_value, abs=0.01
+            )
+
+    def test_latest_window_default(self, merger):
+        task = merger.tasks[0]
+        totals = merger.secure_totals(task, "w")
+        assert totals.end == merger.common_boundary(task, "w")
+
+    def test_single_member_reports_plaintext_passthrough(self):
+        engine = run_member(workload(n_users=2, n_records=400))
+        merger = FederatedStreamMerger({"only": engine})
+        task = merger.tasks[0]
+        totals = merger.secure_totals(task, "w")
+        assert totals.protocol == "plaintext"
+        assert totals.records == merger.merged(task, "w", end=totals.end).records
+
+    def test_secure_dashboard_renders(self, merger):
+        text = merger.secure_dashboard("w")
+        assert "secure" in text
+        assert "masking" in text
+
+    def test_fractional_window_ends_get_distinct_mask_streams(self):
+        # Regression: the per-window mask stream is derived from the
+        # exact float boundary — windows ending at 90.0 and 90.5 must
+        # not reuse masks (reuse would leak per-hive deltas), and both
+        # folds must still match the plaintext merge.
+        def member(records):
+            sim = Simulator()
+            engine = StreamEngine(sim=sim, pane_seconds=0.5, allowed_lateness=0.0)
+            engine.register_view("w", WindowSpec.tumbling(0.5))
+            from repro.store import DatasetStore, IngestPipeline
+
+            pipeline = IngestPipeline(sim, DatasetStore(n_shards=1), flush_delay=0.01)
+            engine.attach(pipeline)
+            pipeline.submit(records)
+            sim.run()
+            pipeline.flush_all()
+            engine.finalize()
+            return engine
+
+        from tests.store.conftest import make_record
+
+        engines = {
+            name: member(
+                [
+                    make_record(user=f"{name}-u", time=89.7, value=float(i + 1)),
+                    make_record(user=f"{name}-u", time=90.2, value=float(i + 2)),
+                ]
+            )
+            for i, name in enumerate(("a", "b", "c"))
+        }
+        merger = FederatedStreamMerger(engines)
+        for end in (90.0, 90.5):
+            totals = merger.secure_totals("t", "w", end=end)
+            snapshot = merger.merged("t", "w", end=end)
+            assert totals.records == snapshot.records == 3
+            assert totals.value_sum == pytest.approx(snapshot.value_sum, abs=0.01)
+
+    def test_no_closed_window_raises(self):
+        engine = StreamEngine(pane_seconds=60.0)
+        engine.register_view("w", WindowSpec.tumbling(60.0))
+        merger = FederatedStreamMerger({"a": engine, "b": engine})
+        with pytest.raises(StreamError):
+            merger.secure_totals("t", "w")

@@ -1,0 +1,246 @@
+"""The secure-aggregation session: cohorts, dropouts, protocol selection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.privacy.secure_aggregation import (
+    ParticipantProfile,
+    SecureAggregationPolicy,
+    SecureAggregationSession,
+    histogram_components,
+)
+from repro.simulation import FaultInjector, Simulator
+
+#: Small keys keep the tests fast; correctness is key-size independent.
+FAST = dict(key_bits=128)
+
+
+def profiles(n: int, battery=lambda i: 0.9) -> list[ParticipantProfile]:
+    return [
+        ParticipantProfile(f"dev-{i:02d}", battery=battery(i)) for i in range(n)
+    ]
+
+
+def contributions(n: int, width: int = 1) -> dict[str, list[float]]:
+    rng = random.Random(5)
+    return {
+        f"dev-{i:02d}": [round(rng.uniform(-5.0, 5.0), 3) for _ in range(width)]
+        for i in range(n)
+    }
+
+
+def expected_sums(contrib, component: int, exclude=()) -> float:
+    return sum(v[component] for pid, v in contrib.items() if pid not in exclude)
+
+
+class TestProtocolSelection:
+    def test_forced_protocols(self):
+        for protocol in ("paillier", "masking"):
+            policy = SecureAggregationPolicy(protocol=protocol, **FAST)
+            session = SecureAggregationSession("t", profiles(4), policy=policy)
+            assert set(session.protocol_of.values()) == {protocol}
+
+    def test_auto_routes_weak_batteries_to_masking(self):
+        policy = SecureAggregationPolicy(protocol="auto", paillier_battery_floor=0.5, **FAST)
+        session = SecureAggregationSession(
+            "t", profiles(6, battery=lambda i: 0.2 if i < 2 else 0.9), policy=policy
+        )
+        assert len(session.masking_cohort) == 2
+        assert len(session.paillier_cohort) == 4
+
+    def test_auto_routes_non_paillier_devices_to_masking(self):
+        members = profiles(3) + [
+            ParticipantProfile("weak-a", supports_paillier=False),
+            ParticipantProfile("weak-b", supports_paillier=False),
+        ]
+        session = SecureAggregationSession("t", members)
+        assert session.masking_cohort == ("weak-a", "weak-b")
+
+    def test_lone_low_battery_device_falls_back_to_paillier(self):
+        # Battery preference is soft: a lone weak-battery device has
+        # nobody to pairwise-mask with and runs Paillier instead.
+        members = profiles(3) + [ParticipantProfile("tired", battery=0.05)]
+        session = SecureAggregationSession("t", members, policy=SecureAggregationPolicy(**FAST))
+        assert session.masking_cohort == ()
+        assert "tired" in session.paillier_cohort
+
+    def test_lone_incapable_device_is_rejected_not_forced(self):
+        # The capability bit is hard: a device that cannot run Paillier
+        # must never be silently reassigned to it.
+        members = profiles(3) + [ParticipantProfile("weak", supports_paillier=False)]
+        with pytest.raises(ProtocolError, match="cannot run Paillier"):
+            SecureAggregationSession("t", members, policy=SecureAggregationPolicy(**FAST))
+
+    def test_forced_masking_needs_two_participants(self):
+        with pytest.raises(ProtocolError):
+            SecureAggregationSession(
+                "t", profiles(1), policy=SecureAggregationPolicy(protocol="masking")
+            )
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ProtocolError):
+            SecureAggregationPolicy(protocol="rot13")
+
+
+class TestSessionSums:
+    @pytest.mark.parametrize("protocol", ["paillier", "masking", "auto"])
+    def test_sums_match_plaintext(self, protocol):
+        policy = SecureAggregationPolicy(protocol=protocol, **FAST)
+        n, width = 8, 3
+        contrib = contributions(n, width)
+        session = SecureAggregationSession(
+            "t",
+            profiles(n, battery=lambda i: 0.1 if i % 2 else 0.9),
+            components=("a", "b", "c"),
+            policy=policy,
+            rng=random.Random(3),
+        )
+        result = session.run(contrib)
+        assert result.contributors == n
+        assert result.dropped == ()
+        for index, label in enumerate(("a", "b", "c")):
+            assert result.sum(label) == pytest.approx(
+                expected_sums(contrib, index), abs=1e-6
+            )
+
+    def test_mixed_cohorts_fold_into_one_result(self):
+        policy = SecureAggregationPolicy(paillier_battery_floor=0.5, **FAST)
+        contrib = contributions(10)
+        session = SecureAggregationSession(
+            "t",
+            profiles(10, battery=lambda i: 0.2 if i < 4 else 0.9),
+            policy=policy,
+            rng=random.Random(4),
+        )
+        result = session.run(contrib)
+        assert result.protocol_split == {"paillier": 6, "masking": 4}
+        assert result.sum("value") == pytest.approx(expected_sums(contrib, 0), abs=1e-6)
+
+    def test_session_is_one_shot(self):
+        session = SecureAggregationSession(
+            "t", profiles(3), policy=SecureAggregationPolicy(**FAST)
+        )
+        session.run(contributions(3))
+        with pytest.raises(ProtocolError):
+            session.run(contributions(3))
+
+    def test_missing_contribution_rejected(self):
+        session = SecureAggregationSession(
+            "t", profiles(3), policy=SecureAggregationPolicy(**FAST)
+        )
+        contrib = contributions(3)
+        del contrib["dev-01"]
+        with pytest.raises(ProtocolError):
+            session.run(contrib)
+
+    def test_key_headroom_guard(self):
+        # A 10^16 contribution cannot fit a 64-bit key's per-device
+        # headroom once split across the cohort.
+        session = SecureAggregationSession(
+            "t",
+            profiles(2),
+            policy=SecureAggregationPolicy(protocol="paillier", key_bits=64),
+        )
+        with pytest.raises(ProtocolError, match="headroom"):
+            session.run({"dev-00": [1e16], "dev-01": [1.0]})
+
+
+class TestDropouts:
+    def test_masking_dropouts_recovered_via_shamir(self):
+        policy = SecureAggregationPolicy(protocol="masking", dropout_threshold=0.5)
+        n = 8
+        contrib = contributions(n)
+        session = SecureAggregationSession(
+            "t", profiles(n), policy=policy, rng=random.Random(6)
+        )
+        session.setup()
+        down = {"dev-02", "dev-05"}
+        result = session.run(contrib, down=down)
+        assert result.dropped == ("dev-02", "dev-05")
+        assert result.contributors == n - 2
+        assert result.sum("value") == pytest.approx(
+            expected_sums(contrib, 0, exclude=down), abs=1e-6
+        )
+
+    def test_fault_injector_kills_devices_mid_session(self):
+        # Setup happens while everyone is up; the outage fires between
+        # dealing and collection — the definition of "mid-session".
+        sim = Simulator()
+        faults = FaultInjector(sim)
+        policy = SecureAggregationPolicy(dropout_threshold=0.5, **FAST)
+        n = 6
+        contrib = contributions(n)
+        session = SecureAggregationSession(
+            "t",
+            profiles(n, battery=lambda i: 0.1 if i % 2 else 0.9),
+            policy=policy,
+            rng=random.Random(7),
+            faults=faults,
+        )
+        session.setup()
+        faults.schedule_outage("device:dev-01", at=10.0)  # masking cohort
+        faults.schedule_outage("device:dev-02", at=10.0)  # paillier cohort
+        sim.run()
+        result = session.run(contrib)
+        assert result.dropped == ("dev-01", "dev-02")
+        assert result.sum("value") == pytest.approx(
+            expected_sums(contrib, 0, exclude={"dev-01", "dev-02"}), abs=1e-6
+        )
+
+    def test_non_resilient_masking_aborts_on_dropout(self):
+        policy = SecureAggregationPolicy(protocol="masking", resilient=False)
+        session = SecureAggregationSession("t", profiles(4), policy=policy)
+        with pytest.raises(ProtocolError, match="non-resilient"):
+            session.run(contributions(4), down={"dev-00"})
+
+    def test_non_resilient_masking_aborts_even_when_whole_cohort_drops(self):
+        # Regression: the abort must fire for a fully-dropped cohort too,
+        # not silently report zeros for the masking components.
+        policy = SecureAggregationPolicy(protocol="masking", resilient=False)
+        session = SecureAggregationSession("t", profiles(3), policy=policy)
+        with pytest.raises(ProtocolError, match="non-resilient"):
+            session.run(contributions(3), down={"dev-00", "dev-01", "dev-02"})
+
+    def test_resilient_whole_cohort_dropout_contributes_nothing(self):
+        # Mixed cohorts: every masking member drops, the Paillier side
+        # still sums — masking contributes 0 rather than garbage.
+        policy = SecureAggregationPolicy(paillier_battery_floor=0.5, **FAST)
+        contrib = contributions(6)
+        session = SecureAggregationSession(
+            "t",
+            profiles(6, battery=lambda i: 0.2 if i < 2 else 0.9),
+            policy=policy,
+            rng=random.Random(9),
+        )
+        down = {"dev-00", "dev-01"}  # the entire masking cohort
+        result = session.run(contrib, down=down)
+        assert result.sum("value") == pytest.approx(
+            expected_sums(contrib, 0, exclude=down), abs=1e-6
+        )
+
+    def test_too_many_dropouts_break_recovery(self):
+        # Below the Shamir threshold of survivors the seeds cannot be
+        # reconstructed — the protocol fails loudly, not wrongly.
+        policy = SecureAggregationPolicy(protocol="masking", dropout_threshold=1.0)
+        n = 4
+        session = SecureAggregationSession(
+            "t", profiles(n), policy=policy, rng=random.Random(8)
+        )
+        with pytest.raises(ProtocolError):
+            session.run(contributions(n), down={"dev-00", "dev-01", "dev-02"})
+
+
+class TestHistogramComponents:
+    def test_labels(self):
+        labels = histogram_components([0.0, 0.5, 1.0])
+        assert labels == ("bin[0,0.5)", "bin[0.5,1]")
+
+    def test_bad_edges(self):
+        with pytest.raises(ProtocolError):
+            histogram_components([1.0])
+        with pytest.raises(ProtocolError):
+            histogram_components([0.0, 0.0, 1.0])

@@ -129,8 +129,10 @@ class TestDropOldestPolicy:
     def test_giant_batch_keeps_newest_tail(self, sim):
         store, pipeline = build(sim, policy="drop-oldest", capacity=10)
         pipeline.submit(make_records(4, t0=0.0))
+        # The whole batch is admitted (drop-oldest never bounces the
+        # sender); its head is immediately evicted and counted dropped.
         accepted = pipeline.submit(make_records(25, t0=10_000.0))
-        assert accepted == 10
+        assert accepted == 25
         assert pipeline.stats.dropped == 4 + 15
         sim.run()
         assert store.n_records == 10
@@ -273,3 +275,57 @@ class TestStats:
         assert stats.mean_flush_batch == pytest.approx(
             stats.flushed_records / stats.flushes
         )
+
+
+class TestBackpressureAccounting:
+    """Regression: counters are one-per-record and always reconcile.
+
+    ``submitted = accepted + rejected`` at the admission gate, and every
+    accepted record is exactly one of flushed / dropped / buffered /
+    spill-parked (``pipeline.unaccounted == 0`` at *any* instant).
+    """
+
+    def check(self, pipeline):
+        stats = pipeline.stats
+        assert stats.submitted == stats.accepted + stats.rejected
+        assert pipeline.unaccounted == 0
+
+    @pytest.mark.parametrize("policy", ["drop-oldest", "reject", "spill"])
+    def test_reconciles_at_every_stage(self, sim, policy):
+        store, pipeline = build(sim, policy=policy, capacity=10)
+        self.check(pipeline)
+        pipeline.submit(make_records(8, t0=0.0))
+        self.check(pipeline)
+        pipeline.submit(make_records(25, t0=10_000.0))  # overflows
+        self.check(pipeline)
+        sim.run()
+        self.check(pipeline)
+        pipeline.submit(make_records(7, t0=20_000.0))
+        pipeline.flush_all()
+        self.check(pipeline)
+        # Quiescent: everything admitted is in the store or was dropped.
+        assert store.n_records == pipeline.stats.accepted - pipeline.stats.dropped
+
+    def test_giant_batch_head_counted_once(self, sim):
+        # The batch head admitted-and-evicted in one call must appear in
+        # both accepted and dropped (once each), never only in dropped.
+        _, pipeline = build(sim, policy="drop-oldest", capacity=10)
+        pipeline.submit(make_records(30))
+        stats = pipeline.stats
+        assert stats.accepted == 30
+        assert stats.dropped == 20
+        assert pipeline.unaccounted == 0
+
+    def test_spilled_records_are_never_dropped(self, sim):
+        # Mutual exclusivity: a record that took the spill detour is
+        # still admitted-and-delivered — spill and drop never overlap.
+        store, pipeline = build(sim, policy="spill", capacity=5)
+        for i in range(6):
+            pipeline.submit(make_records(12, t0=3000.0 * i))
+        assert pipeline.stats.spilled > 0
+        assert pipeline.unaccounted == 0
+        sim.run()
+        pipeline.flush_all()
+        assert pipeline.stats.dropped == 0 and pipeline.stats.rejected == 0
+        assert store.n_records == pipeline.stats.accepted == 72
+        assert pipeline.unaccounted == 0

@@ -1,5 +1,7 @@
 """Unit tests for the P² streaming quantile estimator and its merge."""
 
+import random
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -148,3 +150,77 @@ class TestMergeProperties:
         assert merged.value() == pytest.approx(
             float(np.percentile(pooled, 95.0)), abs=5.0
         )
+
+
+class TestMergeSmallMembers:
+    """Regression: members with < 5 observations have no live marker
+    state (``_q`` is still the raw sorted sample); merging must pool
+    their samples instead of reading uninitialised markers."""
+
+    @pytest.mark.parametrize("small_size", [0, 1, 4])
+    def test_small_member_pools_into_big_member(self, small_size):
+        rng = random.Random(31)
+        big = P2Quantile(0.5)
+        pooled = []
+        for _ in range(200):
+            x = rng.gauss(50.0, 10.0)
+            big.add(x)
+            pooled.append(x)
+        small = P2Quantile(0.5)
+        for _ in range(small_size):
+            x = rng.gauss(50.0, 10.0)
+            small.add(x)
+            pooled.append(x)
+        merged = P2Quantile.merge([big, small])
+        assert len(merged) == len(pooled)
+        pooled.sort()
+        truth = pooled[len(pooled) // 2]
+        assert abs(merged.value() - truth) < 5.0
+        # Extremes are exact even when the small member holds them.
+        if small_size:
+            assert merged._q[0] == min(pooled)
+            assert merged._q[4] == max(pooled)
+
+    def test_all_members_small_pools_raw_samples(self):
+        members = []
+        values = []
+        rng = random.Random(32)
+        for size in (1, 4, 3, 2):
+            sketch = P2Quantile(0.9)
+            for _ in range(size):
+                x = rng.uniform(0.0, 1.0)
+                sketch.add(x)
+                values.append(x)
+            members.append(sketch)
+        merged = P2Quantile.merge(members)
+        assert len(merged) == len(values)
+        values.sort()
+        assert merged._q[0] == values[0]
+        assert abs(merged.value() - values[int(0.9 * (len(values) - 1))]) < 0.35
+
+    def test_one_observation_member_does_not_bias_cdf(self):
+        # The old CDF combination gave a 1-obs member a flat 0.5 CDF
+        # everywhere, injecting phantom mass below its value.
+        rng = random.Random(33)
+        big = P2Quantile(0.5)
+        for _ in range(500):
+            big.add(rng.uniform(0.0, 1.0))
+        outlier = P2Quantile(0.5)
+        outlier.add(100.0)  # far above the big member's range
+        merged = P2Quantile.merge([big, outlier])
+        # The median of 500 uniforms + one outlier stays near 0.5.
+        assert abs(merged.value() - 0.5) < 0.1
+        assert merged._q[4] == 100.0
+
+    def test_merged_with_small_members_stays_live(self):
+        rng = random.Random(34)
+        big = P2Quantile(0.5)
+        for _ in range(100):
+            big.add(rng.uniform(0.0, 1.0))
+        small = P2Quantile(0.5)
+        small.add(0.5)
+        merged = P2Quantile.merge([big, small])
+        for _ in range(100):
+            merged.add(rng.uniform(0.0, 1.0))
+        assert len(merged) == 201
+        assert 0.3 < merged.value() < 0.7

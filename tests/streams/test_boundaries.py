@@ -1,0 +1,141 @@
+"""Boundary-semantics regressions: one shared half-open contract.
+
+The platform has one time-interval convention everywhere a record is
+assigned to a range: **half-open** ``[t0, t1)``.  These tests pin the
+three places the audit covered — :meth:`DatasetStore.scan_time`, pane
+assignment in the stream engine, and watermark close — so an event
+timestamped exactly at a pane end lands in exactly one pane, and a
+batch scan over a window's bounds returns exactly the live view's
+records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation import Simulator
+from repro.store import DatasetStore
+from repro.store.segment import SegmentBuilder
+from repro.streams import WindowSpec
+from tests.store.conftest import make_record
+from tests.streams.conftest import build_stream
+
+PANE = 300.0
+
+
+def boundary_records():
+    """Events on and around every pane boundary of [0, 900].
+
+    All from one user so the whole batch rides one shard flush —
+    cross-shard flush interleaving under zero allowed lateness is the
+    late-record path, exercised separately below.
+    """
+    times = [0.0, 150.0, 299.999, 300.0, 450.0, 599.0, 600.0, 600.001, 900.0]
+    return [make_record(user="u0", time=t) for t in times]
+
+
+class TestStoreScanBoundaries:
+    def test_scan_time_is_half_open(self, sim):
+        store = DatasetStore(n_shards=1)
+        store.append(boundary_records())
+        batch = store.scan_time("t", 300.0, 600.0)
+        # t=300.0 (== t0) included, t=600.0 (== t1) excluded.
+        assert sorted(batch.time.tolist()) == [300.0, 450.0, 599.0]
+
+    def test_every_record_in_exactly_one_adjacent_range(self, sim):
+        store = DatasetStore(n_shards=1)
+        store.append(boundary_records())
+        counts = [
+            len(store.scan_time("t", t0, t0 + PANE)) for t0 in (0.0, 300.0, 600.0, 900.0)
+        ]
+        assert sum(counts) == store.n_records  # nothing lost, nothing doubled
+
+    def test_segment_pruning_keeps_t0_boundary_record(self):
+        # A segment whose newest record sits exactly at t0 must not be
+        # pruned: t_max == t0 still matches the inclusive lower bound.
+        builder = SegmentBuilder(8)
+        time = np.array([100.0, 300.0])
+        col = np.array([0.0, 0.0])
+        builder.append(time, col, col, col, np.array([0, 0]), 0, 2)
+        segment = builder.seal()
+        assert segment.overlaps_time(300.0, 600.0)
+        assert not segment.overlaps_time(300.001, 600.0)
+        # ...and t_min == t1 is excluded (half-open upper bound).
+        assert not segment.overlaps_time(0.0, 100.0)
+        assert segment.overlaps_time(0.0, 100.001)
+
+
+class TestPaneAssignmentBoundaries:
+    def test_boundary_event_lands_in_exactly_one_pane(self, sim):
+        _, pipeline, engine = build_stream(sim, pane_seconds=PANE)
+        engine.register_view("w", WindowSpec.tumbling(PANE))
+        pipeline.submit(boundary_records())
+        sim.run()
+        pipeline.flush_all()
+        engine.finalize()
+        snapshots = engine.snapshots("t", "w")
+        by_window = {(s.start, s.end): s.records for s in snapshots}
+        # t=300.0 belongs to [300, 600) — not [0, 300).
+        assert by_window[(0.0, 300.0)] == 3  # 0.0, 150.0, 299.999
+        assert by_window[(300.0, 600.0)] == 3  # 300.0, 450.0, 599.0
+        assert by_window[(600.0, 900.0)] == 2  # 600.0, 600.001
+        assert by_window[(900.0, 1200.0)] == 1  # 900.0
+        assert sum(by_window.values()) == len(boundary_records())
+        assert engine.stats.late_records == 0
+
+    def test_batch_scan_equals_live_view_on_boundary_event(self, sim):
+        store, pipeline, engine = build_stream(sim, pane_seconds=PANE)
+        engine.register_view("w", WindowSpec.tumbling(PANE))
+        pipeline.submit(boundary_records())
+        sim.run()
+        pipeline.flush_all()
+        engine.finalize()
+        for snapshot in engine.snapshots("t", "w"):
+            batch = store.scan_time("t", snapshot.start, snapshot.end)
+            assert len(batch) == snapshot.records, (snapshot.start, snapshot.end)
+
+    def test_watermark_at_pane_end_does_not_make_boundary_event_late(self, sim):
+        # Closing panes through a watermark that sits exactly on a pane
+        # end must still accept a subsequent event stamped at that end:
+        # the pane it belongs to ([end, end+pane)) is not closed.
+        _, pipeline, engine = build_stream(sim, pane_seconds=PANE)
+        engine.register_view("w", WindowSpec.tumbling(PANE))
+        pipeline.submit([make_record(user="u0", time=0.0)])
+        sim.run()
+        engine.advance_watermark(600.0)  # panes [0,300) and [300,600) close
+        pipeline.submit([make_record(user="u1", time=600.0)])
+        sim.run()
+        pipeline.flush_all()
+        engine.finalize()
+        assert engine.stats.late_records == 0
+        by_window = {
+            (s.start, s.end): s.records for s in engine.snapshots("t", "w")
+        }
+        assert by_window[(600.0, 900.0)] == 1
+        # ...while an event below the closed edge is counted late.
+        assert by_window[(300.0, 600.0)] == 0
+
+    def test_event_below_closed_edge_is_late_not_lost_silently(self, sim):
+        _, pipeline, engine = build_stream(sim, pane_seconds=PANE)
+        engine.register_view("w", WindowSpec.tumbling(PANE))
+        engine.advance_watermark(600.0)
+        pipeline.submit([make_record(time=599.999)])
+        sim.run()
+        pipeline.flush_all()
+        assert engine.stats.late_records == 1
+
+    def test_sliding_windows_count_boundary_event_once_per_window(self, sim):
+        # A record at exactly t=600 with size=600/slide=300 windows must
+        # appear in the two windows covering [600, 900): (300,900] ends.
+        _, pipeline, engine = build_stream(sim, pane_seconds=PANE)
+        engine.register_view("w", WindowSpec.sliding(600.0, PANE))
+        pipeline.submit([make_record(time=600.0)])
+        sim.run()
+        pipeline.flush_all()
+        engine.finalize()
+        containing = [
+            (s.start, s.end)
+            for s in engine.snapshots("t", "w")
+            if s.records
+        ]
+        assert containing == [(300.0, 900.0), (600.0, 1200.0)]

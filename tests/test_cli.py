@@ -423,3 +423,48 @@ class TestTaskCommands:
         code = main(["task", "vet", "--spec", str(spec)])
         assert code == 0
         assert "ACCEPTABLE" in capsys.readouterr().out
+
+
+class TestPrivacyCommands:
+    def test_demo_secure_equals_plaintext(self, capsys):
+        code = main(
+            [
+                "privacy", "demo",
+                "--devices", "10",
+                "--dropouts", "2",
+                "--key-bits", "128",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "secure sum over 8 survivors" in output
+        assert "killed mid-session" in output
+
+    def test_demo_forced_masking(self, capsys):
+        code = main(
+            [
+                "privacy", "demo",
+                "--devices", "8",
+                "--dropouts", "1",
+                "--protocol", "masking",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "0 paillier / 8 masking" in output
+        assert "Shamir" in output
+
+    def test_federation_query_secure_cross_check(self, raw_csv, capsys):
+        code = main(
+            [
+                "federation", "query",
+                "--input", str(raw_csv),
+                "--hives", "3",
+                "--secure",
+                "--key-bits", "128",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "secure aggregate of ingested" in output
+        assert "-> match" in output
