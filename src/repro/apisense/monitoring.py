@@ -69,6 +69,22 @@ class PlatformHealthReport:
     stream_views: int = 0
     stream_last_rate: float = 0.0
     stream_alerts_unacked: int = 0
+    #: Alerts the bounded :class:`~repro.streams.queries.AlertLog`
+    #: evicted before anyone read them — drop-oldest is a policy, not a
+    #: silent loss, so the count surfaces here.
+    stream_alerts_dropped: int = 0
+    #: Serving tier (``repro.server``), populated when a server is
+    #: passed to :func:`snapshot`: live sessions and subscriptions,
+    #: pushes that reached a transport, pushes evicted by slow-consumer
+    #: drop-oldest, and middleware denials across all surfaces.
+    server_sessions: int = 0
+    server_subscriptions: int = 0
+    server_pushes_sent: int = 0
+    server_pushes_dropped: int = 0
+    server_denials: int = 0
+    #: True when this snapshot was taken with a serving tier attached
+    #: (all-zero server counters are then meaningful, not absent).
+    server_attached: bool = False
     tasks: tuple[TaskHealth, ...] = field(default_factory=tuple)
 
     @property
@@ -115,8 +131,17 @@ class PlatformHealthReport:
             f"{self.pipeline_unaccounted} unaccounted)",
             f"  streams: {self.stream_views} live views, last window "
             f"{self.stream_last_rate:.2f} rec/s, "
-            f"{self.stream_alerts_unacked} unacked alerts",
+            f"{self.stream_alerts_unacked} unacked alerts, "
+            f"{self.stream_alerts_dropped} alerts evicted",
         ]
+        if self.server_attached:
+            lines.append(
+                f"  server: {self.server_sessions} sessions, "
+                f"{self.server_subscriptions} subscriptions, "
+                f"{self.server_pushes_sent} pushes sent, "
+                f"{self.server_pushes_dropped} dropped (slow consumers), "
+                f"{self.server_denials} middleware denials"
+            )
         for task in self.tasks:
             lines.append(
                 f"  task {task.task}: {task.records} records, "
@@ -125,8 +150,18 @@ class PlatformHealthReport:
         return "\n".join(lines)
 
 
-def snapshot(hive: Hive, time: float, low_battery: float = 0.2, at_risk: float = 0.25) -> PlatformHealthReport:
-    """Take a health snapshot of a Hive at simulation ``time``."""
+def snapshot(
+    hive: Hive,
+    time: float,
+    low_battery: float = 0.2,
+    at_risk: float = 0.25,
+    server=None,
+) -> PlatformHealthReport:
+    """Take a health snapshot of a Hive at simulation ``time``.
+
+    ``server`` (a :class:`repro.server.server.ReproServer`, optional)
+    adds the serving tier's session/push/denial counters to the report.
+    """
     levels = [device.battery.level(time) for device in hive.devices]
     motivations = [state.motivation for state in hive.community.values()]
     tasks = tuple(
@@ -170,5 +205,14 @@ def snapshot(hive: Hive, time: float, low_battery: float = 0.2, at_risk: float =
         stream_views=hive.streams.active_view_count,
         stream_last_rate=hive.streams.last_window_rate,
         stream_alerts_unacked=hive.streams.alerts.unacknowledged,
+        stream_alerts_dropped=hive.streams.alerts.dropped,
+        server_sessions=server.sessions_active if server is not None else 0,
+        server_subscriptions=(
+            server.subscriptions_active if server is not None else 0
+        ),
+        server_pushes_sent=server.pushes_sent if server is not None else 0,
+        server_pushes_dropped=server.pushes_dropped if server is not None else 0,
+        server_denials=server.stats.denials if server is not None else 0,
+        server_attached=server is not None,
         tasks=tasks,
     )

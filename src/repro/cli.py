@@ -467,26 +467,196 @@ def cmd_stream_alerts(args: argparse.Namespace) -> int:
     return 0 if log.total == 0 else 1
 
 
+def _render_snapshot_push(digest: dict) -> str:
+    """One pushed snapshot digest as a dashboard line (mirrors
+    :meth:`repro.streams.views.WindowSnapshot.to_text`)."""
+    start, end = digest["start"], digest["end"]
+    rate = digest["records"] / (end - start) if end > start else 0.0
+    top = ", ".join(f"{user}:{count}" for user, count in digest["top_users"])
+    return (
+        f"[{start:.0f},{end:.0f})s {digest['task']}/{digest['view']}: "
+        f"{digest['records']} rec ({rate:.2f}/s) from {digest['n_users']} users, "
+        f"{digest['coverage_cells']} cells, value p50/p95 "
+        f"{digest['value_p50']:.2f}/{digest['value_p95']:.2f}, "
+        f"lag p95 {digest['lag_p95']:.1f}s" + (f", top [{top}]" if top else "")
+    )
+
+
+async def _pump_pushes(client, show) -> None:
+    """Let the server's sender and the client's reader run, then render
+    every push that arrived (repeats until a pass delivers nothing)."""
+    import asyncio
+
+    while True:
+        await asyncio.sleep(0)
+        pushes = client.drain_pushes()
+        if not pushes:
+            return
+        show(pushes)
+
+
 def cmd_stream_watch(args: argparse.Namespace) -> int:
+    """Watch windows close live — served over the dashboard channel.
+
+    Unlike ``stream views`` (a batch read after the replay), this stands
+    up an in-process :class:`repro.server.ReproServer` over the replay
+    engine, connects one dashboard client, and prints every
+    ``WindowSnapshot`` *as pushed to the subscribed client* — the CLI is
+    a real serving-tier consumer, not a callback on the engine.
+    """
+    import asyncio
+    import itertools
+
+    from repro.apisense.device import SensorRecord
+    from repro.server import ReproServer, ServerClient
+    from repro.simulation import Simulator
+    from repro.store import DatasetStore, IngestPipeline
+
     engine = _build_stream_engine(args)
     _register_stream_queries(args, engine)
+
+    dataset = MobilityDataset.from_csv(args.input)
+    records = sorted(
+        (
+            SensorRecord(
+                device_id=f"csv:{user}",
+                user=user,
+                task=args.task_name,
+                time=record.time,
+                values={"gps": record.point},
+            )
+            for user, record in dataset.all_records()
+        ),
+        key=lambda r: r.time,
+    )
+    sim = Simulator()
+    engine.bind_clock(sim)
+    store = DatasetStore(n_shards=args.shards)
+    pipeline = IngestPipeline(sim, store, flush_delay=args.flush_delay)
+    engine.attach(pipeline)
+    server = ReproServer(engine=engine, sim=sim)
+
     printed = 0
+    alerts_pushed = 0
 
-    def live(snapshot) -> None:
-        nonlocal printed
-        if args.limit is None or printed < args.limit:
-            print(snapshot.to_text())
-            printed += 1
+    def show(pushes) -> None:
+        nonlocal printed, alerts_pushed
+        for push in pushes:
+            if push["kind"] == "snapshot":
+                if args.limit is None or printed < args.limit:
+                    print(_render_snapshot_push(push["snapshot"]))
+                    printed += 1
+            elif push["kind"] == "alert":
+                alerts_pushed += 1
 
-    engine.on_window(live)
-    _replay_csv_through_streams(args, engine)
+    async def run() -> None:
+        client = ServerClient(server.connect_in_process())
+        await client.connect()
+        await client.subscribe("window", alerts=True)
+        for timestamp, group in itertools.groupby(records, key=lambda r: r.time):
+            if timestamp > sim.now:
+                await server.drive(timestamp, slice_seconds=args.window)
+            pipeline.submit(list(group))
+            await _pump_pushes(client, show)
+        sim.run()
+        pipeline.flush_all()
+        engine.finalize()
+        await server.drain()
+        await _pump_pushes(client, show)
+        await client.close()
+
+    asyncio.run(run())
     print(
-        f"watched {engine.stats.windows_emitted} windows "
+        f"watched {engine.stats.windows_emitted} windows over the server channel "
         f"({engine.stats.records_seen} records, "
-        f"{engine.alerts.total} alerts)"
+        f"{alerts_pushed} alerts pushed)"
     )
     for alert in engine.alerts.alerts():
         print("  ALERT " + alert.to_text())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ``serve`` (the asyncio serving tier, repro.server)
+# ----------------------------------------------------------------------
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Stand up the serving tier over a simulated campaign scenario.
+
+    Builds a campaign (population, devices, one sensing task), wraps its
+    Hive in a :class:`repro.server.ReproServer`, connects ``--clients``
+    in-process dashboard sessions, and drives the simulated days with the
+    event loop interleaved — every client receives the live window
+    pushes while the campaign collects.  Ends with the platform health
+    report (including the serving tier's counters) and the per-client
+    push accounting.
+    """
+    import asyncio
+
+    from repro.apisense import Campaign, CampaignConfig, SensingTask
+    from repro.apisense.monitoring import snapshot
+    from repro.server import MetricsMiddleware, ReproServer, ServerClient
+    from repro.streams import WindowSpec
+    from repro.units import DAY
+
+    population = MobilityGenerator(
+        GeneratorConfig(n_users=args.users, n_days=args.days)
+    ).generate(seed=args.seed)
+    campaign = Campaign(
+        population,
+        config=CampaignConfig(n_days=float(args.days), seed=args.seed),
+    )
+    campaign.deploy(
+        SensingTask(
+            name="served-campaign",
+            sensors=("gps", "battery"),
+            sampling_period=args.period,
+            upload_period=1800.0,
+            end=args.days * DAY,
+        )
+    )
+    hive, sim = campaign.hive, campaign.sim
+    hive.streams.register_view("window", WindowSpec.tumbling(args.window))
+    metrics = MetricsMiddleware()
+    server = ReproServer(
+        hive, middlewares=[metrics], queue_capacity=args.queue_capacity
+    )
+    received = [0] * args.clients
+
+    async def run() -> None:
+        clients = []
+        for _ in range(args.clients):
+            client = ServerClient(server.connect_in_process())
+            await client.connect()
+            await client.subscribe("window", alerts=True)
+            clients.append(client)
+        day = 1.0
+        while day <= args.days + 1e-9:
+            await server.drive(day * DAY, slice_seconds=args.window)
+            hive.end_of_day()
+            campaign._daily_participation()
+            day += 1.0
+        await server.drive(
+            args.days * DAY + 2.0 * campaign.config.delivery_latency + 1.0,
+            slice_seconds=args.window,
+        )
+        hive.pipeline.flush_all()
+        hive.streams.finalize()
+        await server.drain()
+        for index, client in enumerate(clients):
+            await _pump_pushes(client, lambda pushes, i=index: received.__setitem__(
+                i, received[i] + len(pushes)
+            ))
+            await client.close()
+
+    asyncio.run(run())
+    print(snapshot(hive, sim.now, server=server).to_text())
+    print(
+        f"served {args.clients} dashboard clients: "
+        f"pushes received {received}, "
+        f"{server.pushes_dropped} dropped (slow consumers)"
+    )
     return 0
 
 
@@ -1022,6 +1192,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_stream_queries(stream_watch)
     stream_watch.add_argument("--limit", type=int, help="stop printing after N windows")
     stream_watch.set_defaults(handler=cmd_stream_watch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="stand up the asyncio serving tier over a simulated campaign "
+        "(repro.server)",
+    )
+    serve.add_argument("--users", type=int, default=20)
+    serve.add_argument("--days", type=int, default=2)
+    serve.add_argument("--period", type=float, default=600.0, help="sampling (s)")
+    serve.add_argument(
+        "--window", type=float, default=3600.0, help="dashboard window size (s)"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=3, help="in-process dashboard sessions"
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=256, help="per-session push queue bound"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(handler=cmd_serve)
 
     federation = commands.add_parser(
         "federation", help="multi-hive scale-out operations (repro.federation)"

@@ -54,3 +54,7 @@ class StoreError(ReproError):
 
 class StreamError(ReproError):
     """Streaming tier misuse (bad window geometry, unknown view/query...)."""
+
+
+class ServerError(ReproError):
+    """Serving tier misuse (bad middleware result, unknown surface...)."""

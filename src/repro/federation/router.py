@@ -146,6 +146,11 @@ class FederationRouter:
     # ------------------------------------------------------------------
 
     @property
+    def sim(self) -> Simulator:
+        """The simulator clock the federation runs on."""
+        return self._sim
+
+    @property
     def member_names(self) -> list[str]:
         """All members, up or down (sorted for determinism)."""
         return sorted(self._hives)

@@ -124,16 +124,22 @@ class FederatedStreamMerger:
         """The newest window end every member holding the view has closed.
 
         Members that never materialized (task, view) — e.g. no device of
-        that task homed there yet — don't hold the federation back; a
-        member with *no* window at all for the view is simply skipped.
+        that task homed there yet — don't hold the federation back and
+        are simply skipped.  A member that *has* ingested the task's
+        records but not closed any window yet is pending, not idle:
+        merging without it would under-count, so it pins the boundary to
+        ``None`` until its first close.
         """
         ends = []
         for engine in self._engines.values():
             if view not in engine.views:
                 continue
             latest = engine.latest(task, view)
-            if latest is not None:
-                ends.append(latest.end)
+            if latest is None:
+                if task in engine.tasks:
+                    return None  # ingested but nothing closed: wait
+                continue
+            ends.append(latest.end)
         return min(ends) if ends else None
 
     def merged(

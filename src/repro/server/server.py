@@ -1,0 +1,711 @@
+"""The asyncio serving tier: three surfaces behind one middleware chain.
+
+:class:`ReproServer` puts the in-process platform behind a concurrent
+API.  Three surfaces, all gated by the same
+:class:`~repro.server.middleware.MiddlewareChain`:
+
+- **ingest** — upload batches feed :meth:`repro.apisense.hive.Hive.
+  receive_upload` (or the federation router's data plane), and the
+  response maps the pipeline's accept/reject/drop/spill counters back
+  to the uploading connection — backpressure is an API status, not a
+  silent shed;
+- **query** — federated batch reads: :meth:`repro.federation.query.
+  FederatedDataset.aggregate` and the privacy tier's
+  :meth:`~repro.federation.query.FederatedDataset.secure_aggregate`,
+  request/response;
+- **channel** — the live dashboard: sessions subscribe to streaming
+  views and the server pushes every closing
+  :class:`~repro.streams.views.WindowSnapshot` (and
+  :class:`~repro.streams.queries.StreamAlert`) to every matching
+  subscriber, **exactly once per subscriber per window close**, with
+  optional late-subscriber catch-up from the engine's retained history.
+  Per-subscriber send queues are bounded; a slow consumer loses the
+  *oldest* queued pushes, counted per subscription — never silently.
+
+The platform itself stays on the deterministic simulator clock: window
+closes happen synchronously inside simulator events and only *enqueue*
+pushes; the asyncio side (sender tasks, client readers) drains between
+simulation slices — :meth:`ReproServer.drive` interleaves the two.
+Tests and benchmarks run the whole protocol over the socketless
+:class:`~repro.server.transport.InProcessTransport`; a deployment binds
+the identical protocol to TCP via :meth:`ReproServer.serve_tcp`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ReproError, ServerError
+from repro.server.middleware import (
+    ChannelMessage,
+    ChainResult,
+    ConnectRequest,
+    Deny,
+    MiddlewareChain,
+    Ok,
+    Redirect,
+    ServerMiddleware,
+    ServerRequest,
+)
+from repro.server.protocol import (
+    aggregate_digest,
+    alert_digest,
+    decode_record,
+    secure_aggregate_digest,
+    snapshot_digest,
+)
+from repro.server.sessions import Session, Subscription
+from repro.server.transport import (
+    Endpoint,
+    InProcessTransport,
+    Message,
+    serve_tcp,
+)
+from repro.streams.engine import StreamEngine
+from repro.streams.views import WindowSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apisense.hive import Hive
+    from repro.federation.router import FederationRouter
+    from repro.federation.streams import FederatedStreamMerger
+    from repro.simulation import Simulator
+
+#: The request surfaces the middleware chain's ``request`` hook gates.
+SURFACES = ("ingest", "query")
+
+
+@dataclass
+class ServerStats:
+    """Counters of one serving tier (monotonic; see :meth:`ReproServer.metrics`)."""
+
+    connections: int = 0
+    sessions_closed: int = 0
+    denials_connect: int = 0
+    denials_request: int = 0
+    denials_channel: int = 0
+    redirects: int = 0
+    requests_ingest: int = 0
+    requests_query: int = 0
+    channel_messages: int = 0
+    subscriptions_total: int = 0
+    pushes_enqueued: int = 0
+    catchup_snapshots: int = 0
+    alerts_pushed: int = 0
+    alert_gaps: int = 0
+    merged_windows: int = 0
+
+    @property
+    def denials(self) -> int:
+        """Middleware denials across all three hooks."""
+        return self.denials_connect + self.denials_request + self.denials_channel
+
+
+@dataclass(frozen=True)
+class ServerMetrics:
+    """One dashboard-ready reading of the serving tier's health."""
+
+    sessions_active: int
+    sessions_total: int
+    subscriptions_active: int
+    subscriptions_total: int
+    pushes_sent: int
+    pushes_dropped: int
+    denials: int
+    alerts_pushed: int
+    alert_gaps: int
+
+
+class ReproServer:
+    """The serving tier over one Hive — or a whole federation.
+
+    Exactly one of ``hive`` / ``router`` / ``engine`` anchors the
+    server:
+
+    - ``hive`` — ingest feeds the hive's pipeline, queries read its
+      store, the channel pushes its stream engine's windows;
+    - ``router`` — ingest routes through the federation's placement
+      ring, queries fan out over every member store, and the channel
+      pushes **merged** federation-wide windows (one push per window,
+      folded across members once every member closed it);
+    - ``engine`` — channel-only (the CLI's replay dashboards).
+
+    ``middlewares`` run outermost-first on every surface.
+    ``queue_capacity`` bounds each session's push queue (the
+    slow-consumer valve).
+    """
+
+    def __init__(
+        self,
+        hive: "Hive | None" = None,
+        *,
+        router: "FederationRouter | None" = None,
+        engine: StreamEngine | None = None,
+        sim: "Simulator | None" = None,
+        middlewares: Sequence[ServerMiddleware] = (),
+        queue_capacity: int = 256,
+    ):
+        anchors = sum(x is not None for x in (hive, router, engine))
+        if anchors != 1:
+            raise ServerError(
+                "anchor the server on exactly one of hive=, router=, engine="
+            )
+        self._hive = hive
+        self._router = router
+        self._merger: "FederatedStreamMerger | None" = None
+        if hive is not None:
+            self._sim = sim or hive.sim
+            self._engines = {"local": hive.streams}
+        elif router is not None:
+            from repro.federation.streams import FederatedStreamMerger
+
+            self._sim = sim or router.sim
+            self._engines = {
+                name: router.hive(name).streams for name in router.member_names
+            }
+            self._merger = FederatedStreamMerger(self._engines)
+        else:
+            assert engine is not None
+            self._sim = sim
+            self._engines = {"local": engine}
+        self.chain = MiddlewareChain(middlewares)
+        self.queue_capacity = queue_capacity
+        self.stats = ServerStats()
+        self._sessions: dict[int, Session] = {}
+        #: Federated dedup: newest merged window end pushed per (task, view).
+        self._merged_done: dict[tuple[str, str], float] = {}
+        self._retired_pushes_sent = 0
+        self._retired_pushes_dropped = 0
+        for name, eng in self._engines.items():
+            eng.on_window(lambda s, member=name: self._on_member_window(member, s))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def clock(self) -> float:
+        """The server clock: the deployment's simulated time."""
+        return self._sim.now if self._sim is not None else 0.0
+
+    @property
+    def sessions_active(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def subscriptions_active(self) -> int:
+        return sum(len(s.subscriptions) for s in self._sessions.values())
+
+    @property
+    def pushes_sent(self) -> int:
+        """Pushes that reached a transport (live sessions + closed ones)."""
+        return self._retired_pushes_sent + sum(
+            s.pushes_sent for s in self._sessions.values()
+        )
+
+    @property
+    def pushes_dropped(self) -> int:
+        """Pushes evicted by slow-consumer drop-oldest, platform-wide."""
+        return self._retired_pushes_dropped + sum(
+            s.pushes_dropped for s in self._sessions.values()
+        )
+
+    def metrics(self) -> ServerMetrics:
+        """The serving-tier reading ``monitoring.snapshot`` surfaces."""
+        return ServerMetrics(
+            sessions_active=self.sessions_active,
+            sessions_total=self.stats.connections - self.stats.denials_connect,
+            subscriptions_active=self.subscriptions_active,
+            subscriptions_total=self.stats.subscriptions_total,
+            pushes_sent=self.pushes_sent,
+            pushes_dropped=self.pushes_dropped,
+            denials=self.stats.denials,
+            alerts_pushed=self.stats.alerts_pushed,
+            alert_gaps=self.stats.alert_gaps,
+        )
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+
+    def connect_in_process(self, client_capacity: int = 0) -> Endpoint:
+        """A socketless connection: returns the **client** endpoint.
+
+        The server side runs as a background task on the current loop.
+        ``client_capacity`` bounds the client's inbox to emulate a slow
+        consumer (0 = unbounded).
+        """
+        transport = InProcessTransport(client_capacity=client_capacity)
+        asyncio.get_running_loop().create_task(
+            self.handle_endpoint(transport.server_end)
+        )
+        return transport.client_end
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Bind the identical protocol to TCP (JSON-lines framing).
+
+        Returns the listening ``asyncio`` server; ``port=0`` picks a
+        free port, readable from ``sockets[0].getsockname()[1]``.
+        """
+        return await serve_tcp(self.handle_endpoint, host=host, port=port)
+
+    async def handle_endpoint(self, endpoint: Endpoint) -> None:
+        """One connection's full lifecycle: handshake, loop, teardown."""
+        self.stats.connections += 1
+        session = Session(
+            endpoint, clock=self.clock, queue_capacity=self.queue_capacity
+        )
+        try:
+            if not await self._handshake(session, endpoint):
+                return
+            self._sessions[session.session_id] = session
+            session.start_sender()
+            try:
+                await self._serve_session(session, endpoint)
+            finally:
+                self._sessions.pop(session.session_id, None)
+                self.stats.sessions_closed += 1
+        finally:
+            await session.close()
+            self._retired_pushes_sent += session.pushes_sent
+            self._retired_pushes_dropped += session.pushes_dropped
+
+    async def _handshake(self, session: Session, endpoint: Endpoint) -> bool:
+        first = await endpoint.recv()
+        if first is None:
+            return False
+        if first.get("type") != "connect":
+            await endpoint.send(
+                {"type": "deny", "reason": "handshake must be a connect message"}
+            )
+            self.stats.denials_connect += 1
+            return False
+        request = ConnectRequest(
+            headers=dict(first.get("headers", {})), remote=endpoint.remote
+        )
+
+        async def terminal() -> ChainResult:
+            return Ok()
+
+        result = await self.chain.run(
+            "connect", session, terminal, request=request
+        )
+        if isinstance(result, Deny):
+            self.stats.denials_connect += 1
+            await endpoint.send({"type": "deny", "reason": result.reason})
+            return False
+        if isinstance(result, Redirect):
+            self.stats.redirects += 1
+            await endpoint.send({"type": "redirect", "target": result.target})
+            return False
+        await endpoint.send(
+            {"type": "connected", "session_id": session.session_id}
+        )
+        return True
+
+    async def _serve_session(self, session: Session, endpoint: Endpoint) -> None:
+        while True:
+            message = await endpoint.recv()
+            if message is None:
+                return
+            kind = message.get("type")
+            if kind == "request":
+                await self._on_request(session, endpoint, message)
+            elif kind == "channel":
+                await self._on_channel(session, endpoint, message)
+            elif kind == "close":
+                return
+            else:
+                await endpoint.send(
+                    {
+                        "type": "response",
+                        "id": message.get("id"),
+                        "status": "error",
+                        "error": f"unknown message type {kind!r}",
+                    }
+                )
+
+    # ------------------------------------------------------------------
+    # Request surfaces (ingest / query)
+    # ------------------------------------------------------------------
+
+    async def _on_request(
+        self, session: Session, endpoint: Endpoint, message: Message
+    ) -> None:
+        request = ServerRequest(
+            surface=message.get("surface", ""),
+            action=message.get("action", ""),
+            payload=dict(message.get("payload", {})),
+        )
+        reply: Message = {"type": "response", "id": message.get("id")}
+        if request.surface not in SURFACES:
+            reply.update(
+                status="error", error=f"unknown surface {request.surface!r}"
+            )
+            await endpoint.send(reply)
+            return
+
+        async def terminal() -> ChainResult:
+            if request.surface == "ingest":
+                self.stats.requests_ingest += 1
+                return Ok(self._handle_ingest(session, request))
+            self.stats.requests_query += 1
+            return Ok(self._handle_query(request))
+
+        try:
+            result = await self.chain.run(
+                "request", session, terminal, request=request
+            )
+        except ReproError as error:
+            reply.update(status="error", error=str(error))
+            await endpoint.send(reply)
+            return
+        if isinstance(result, Deny):
+            self.stats.denials_request += 1
+            reply.update(status="deny", reason=result.reason)
+        elif isinstance(result, Redirect):
+            self.stats.redirects += 1
+            reply.update(status="redirect", target=result.target)
+        else:
+            reply.update(status="ok", payload=result.payload)
+        await endpoint.send(reply)
+
+    def _handle_ingest(self, session: Session, request: ServerRequest) -> Message:
+        """Upload surface: decode, submit, map backpressure to the reply."""
+        if self._hive is None and self._router is None:
+            raise ServerError("this server exposes no ingest surface")
+        payload = request.payload
+        try:
+            device_id = payload["device_id"]
+            user = payload["user"]
+            task = payload["task"]
+            rows = payload["records"]
+        except KeyError as missing:
+            raise ServerError(f"upload payload lacks {missing}")
+        records = [decode_record(row, device_id, user, task) for row in rows]
+
+        pipelines = (
+            [self._hive.pipeline]
+            if self._hive is not None
+            else [
+                self._router.hive(name).pipeline
+                for name in self._router.member_names
+            ]
+        )
+        before = [
+            (p.stats.rejected, p.stats.dropped, p.stats.spilled)
+            for p in pipelines
+        ]
+        if self._hive is not None:
+            member = "local"
+            accepted = self._hive.receive_upload(device_id, user, task, records)
+        else:
+            member, accepted = self._router.route_upload(
+                device_id, user, task, records
+            )
+        rejected = dropped = spilled = 0
+        for pipeline, (r0, d0, s0) in zip(pipelines, before):
+            rejected += pipeline.stats.rejected - r0
+            dropped += pipeline.stats.dropped - d0
+            spilled += pipeline.stats.spilled - s0
+        # Per-connection backpressure accounting rides in the session
+        # state so middlewares (and the session's owner) can see it.
+        for key, delta in (
+            ("ingest.accepted", accepted),
+            ("ingest.rejected", rejected),
+            ("ingest.dropped", dropped),
+            ("ingest.spilled", spilled),
+        ):
+            session.state[key] = session.state.get(key, 0) + delta
+        return {
+            "member": member,
+            "accepted": accepted,
+            "rejected": rejected,
+            "dropped": dropped,
+            "spilled": spilled,
+            "status": "backpressure" if (rejected or dropped) else "ok",
+        }
+
+    def _federated(self):
+        from repro.federation.query import FederatedDataset
+
+        if self._router is not None:
+            return FederatedDataset.from_router(self._router)
+        if self._hive is not None:
+            return FederatedDataset({"local": self._hive.store})
+        raise ServerError("this server exposes no query surface")
+
+    def _handle_query(self, request: ServerRequest) -> Message:
+        """Query surface: federated aggregate / secure_aggregate / tasks."""
+        federated = self._federated()
+        payload = request.payload
+        if request.action == "tasks":
+            return {"tasks": federated.tasks}
+        task = payload.get("task")
+        if not task:
+            raise ServerError(f"query action {request.action!r} needs a 'task'")
+        if request.action == "aggregate":
+            return aggregate_digest(federated.aggregate(task))
+        if request.action == "secure_aggregate":
+            kwargs = {"rng": random.Random(task)}
+            if payload.get("bin_edges") is not None:
+                kwargs["bin_edges"] = [float(e) for e in payload["bin_edges"]]
+            if self._hive is not None:
+                kwargs["profiles"] = self._hive.secure_participants(task)
+            return secure_aggregate_digest(
+                federated.secure_aggregate(task, **kwargs)
+            )
+        raise ServerError(f"unknown query action {request.action!r}")
+
+    # ------------------------------------------------------------------
+    # Channel surface (streaming dashboard)
+    # ------------------------------------------------------------------
+
+    async def _on_channel(
+        self, session: Session, endpoint: Endpoint, message: Message
+    ) -> None:
+        self.stats.channel_messages += 1
+        channel_message = ChannelMessage(
+            action=message.get("action", ""),
+            payload=dict(message.get("payload", {})),
+        )
+        reply: Message = {"type": "channel_reply", "id": message.get("id")}
+
+        async def terminal() -> ChainResult:
+            return Ok(self._handle_channel(session, channel_message))
+
+        try:
+            result = await self.chain.run(
+                "channel_message", session, terminal, message=channel_message
+            )
+        except ReproError as error:
+            reply.update(status="error", error=str(error))
+            await endpoint.send(reply)
+            return
+        if isinstance(result, Deny):
+            self.stats.denials_channel += 1
+            reply.update(status="deny", reason=result.reason)
+        elif isinstance(result, Redirect):
+            self.stats.redirects += 1
+            reply.update(status="redirect", target=result.target)
+        else:
+            reply.update(status="ok", payload=result.payload)
+        await endpoint.send(reply)
+
+    def _known_views(self) -> set[str]:
+        views: set[str] = set()
+        for engine in self._engines.values():
+            views.update(engine.views)
+        return views
+
+    def _handle_channel(
+        self, session: Session, message: ChannelMessage
+    ) -> Message:
+        payload = message.payload
+        if message.action == "subscribe":
+            view = payload.get("view")
+            if not view or view not in self._known_views():
+                raise ServerError(f"cannot subscribe to unknown view {view!r}")
+            tasks = payload.get("tasks")
+            subscription = session.subscribe(
+                view,
+                tasks=frozenset(tasks) if tasks is not None else None,
+                alerts=bool(payload.get("alerts", False)),
+            )
+            self.stats.subscriptions_total += 1
+            caught_up = 0
+            if payload.get("catch_up", False):
+                caught_up = self._catch_up(session, subscription)
+            return {
+                "subscription": subscription.subscription_id,
+                "view": view,
+                "catchup": caught_up,
+            }
+        if message.action == "unsubscribe":
+            subscription_id = payload.get("subscription")
+            session.unsubscribe(int(subscription_id or 0))
+            return {"unsubscribed": subscription_id}
+        raise ServerError(f"unknown channel action {message.action!r}")
+
+    def _retained_snapshots(self, view: str) -> list[WindowSnapshot]:
+        """Retained history for catch-up, oldest first (merged if federated)."""
+        snapshots: list[WindowSnapshot] = []
+        if self._merger is not None:
+            for task in self._merger.tasks:
+                try:
+                    snapshots.extend(self._merger.history(task, view))
+                except ReproError:  # pragma: no cover - defensive
+                    continue
+        else:
+            engine = next(iter(self._engines.values()))
+            for task in engine.tasks:
+                snapshots.extend(engine.snapshots(task, view))
+        snapshots.sort(key=lambda s: (s.end, s.task))
+        return snapshots
+
+    def _catch_up(self, session: Session, subscription: Subscription) -> int:
+        """Replay the retained history into a late subscription.
+
+        Marks every replayed window as delivered, so the live path's
+        exactly-once guard (:meth:`Subscription.should_push`) will skip
+        them — a late subscriber sees each window once, not twice.
+        """
+        caught_up = 0
+        for snapshot in self._retained_snapshots(subscription.view):
+            if not subscription.matches(snapshot.task, snapshot.view):
+                continue
+            if not subscription.should_push(snapshot.task, snapshot.end):
+                continue
+            self._push_snapshot(session, subscription, snapshot, catchup=True)
+            caught_up += 1
+        self.stats.catchup_snapshots += caught_up
+        return caught_up
+
+    # ------------------------------------------------------------------
+    # Push path (window-close fan-out; synchronous, inside sim events)
+    # ------------------------------------------------------------------
+
+    def _push_snapshot(
+        self,
+        session: Session,
+        subscription: Subscription,
+        snapshot: WindowSnapshot,
+        catchup: bool = False,
+    ) -> None:
+        message: Message = {
+            "type": "push",
+            "kind": "snapshot",
+            "subscription": subscription.subscription_id,
+            "catchup": catchup,
+            "sent_at": time.perf_counter(),
+            "snapshot": snapshot_digest(snapshot),
+        }
+        if session.push(message, subscription):
+            subscription.snapshots_pushed += 1
+            self.stats.pushes_enqueued += 1
+
+    def _on_member_window(self, member: str, snapshot: WindowSnapshot) -> None:
+        """Engine window-close callback: fan out to matching subscribers."""
+        if self._merger is None:
+            self._fan_out(snapshot)
+        else:
+            self._fan_out_merged(snapshot.task, snapshot.view)
+        self._fan_alerts(member, self._engines[member])
+
+    def _fan_out(self, snapshot: WindowSnapshot) -> None:
+        for session in self._sessions.values():
+            for subscription in session.subscriptions.values():
+                if not subscription.matches(snapshot.task, snapshot.view):
+                    continue
+                if not subscription.should_push(snapshot.task, snapshot.end):
+                    continue
+                self._push_snapshot(session, subscription, snapshot)
+
+    def _fan_out_merged(self, task: str, view: str) -> None:
+        """Push federation-merged windows once every member closed them."""
+        assert self._merger is not None
+        boundary = self._merger.common_boundary(task, view)
+        if boundary is None:
+            return
+        done = self._merged_done.get((task, view), float("-inf"))
+        if boundary <= done:
+            return
+        ends: set[float] = set()
+        for engine in self._engines.values():
+            if view not in engine.views:
+                continue
+            ends.update(
+                s.end
+                for s in engine.snapshots(task, view)
+                if done < s.end <= boundary
+            )
+        for end in sorted(ends):
+            merged = self._merger.merged(task, view, end=end)
+            self.stats.merged_windows += 1
+            self._fan_out(merged)
+        self._merged_done[(task, view)] = boundary
+
+    def _fan_alerts(self, member: str, engine: StreamEngine) -> None:
+        """Deliver fresh alerts; evicted-before-delivery ones become gaps."""
+        log = engine.alerts
+        total = log.total
+        retained = None  # fetched lazily, once per call
+        for session in self._sessions.values():
+            for subscription in session.subscriptions.values():
+                if not subscription.alerts:
+                    continue
+                seen = subscription.alerts_seen.get(member, 0)
+                fresh = total - seen
+                if fresh <= 0:
+                    continue
+                if retained is None:
+                    retained = log.alerts()
+                deliverable = retained[-min(fresh, len(retained)):] if retained else []
+                missed = fresh - len(deliverable)
+                if missed > 0:
+                    # The bounded log evicted alerts this subscriber
+                    # never saw: the gap is pushed, not swallowed.
+                    self.stats.alert_gaps += missed
+                    session.push(
+                        {
+                            "type": "push",
+                            "kind": "alert_gap",
+                            "subscription": subscription.subscription_id,
+                            "source": member,
+                            "missed": missed,
+                        },
+                        subscription,
+                    )
+                for alert in deliverable:
+                    if not subscription.matches(alert.task, alert.view):
+                        continue
+                    if session.push(
+                        {
+                            "type": "push",
+                            "kind": "alert",
+                            "subscription": subscription.subscription_id,
+                            "source": member,
+                            "sent_at": time.perf_counter(),
+                            "alert": alert_digest(alert),
+                        },
+                        subscription,
+                    ):
+                        self.stats.alerts_pushed += 1
+                subscription.alerts_seen[member] = total
+
+    # ------------------------------------------------------------------
+    # Driving a simulated deployment
+    # ------------------------------------------------------------------
+
+    async def drive(
+        self,
+        until: float,
+        slice_seconds: float = 60.0,
+        sim: "Simulator | None" = None,
+    ) -> None:
+        """Advance the simulation to ``until``, draining pushes between slices.
+
+        The simulator is synchronous — window closes (and therefore push
+        enqueues) happen inside its events.  Slicing its advance and
+        yielding to the event loop between slices lets sender tasks and
+        in-process clients run concurrently with the simulated platform,
+        which is what makes 1k live dashboard sessions possible without
+        threads.
+        """
+        simulator = sim or self._sim
+        if simulator is None:
+            raise ServerError("no simulator to drive; pass sim=")
+        if slice_seconds <= 0:
+            raise ServerError(f"slice must be positive: {slice_seconds}")
+        now = simulator.now
+        while now < until:
+            now = min(until, now + slice_seconds)
+            simulator.run_until(now)
+            await asyncio.sleep(0)
+
+    async def drain(self) -> None:
+        """Wait until every live session's push queue reached its transport."""
+        while any(len(s.queue) for s in self._sessions.values()):
+            await asyncio.sleep(0)

@@ -1,0 +1,203 @@
+"""Server sessions: per-connection state, subscriptions, bounded pushes.
+
+One :class:`Session` lives for one authenticated connection.  It owns
+
+- the middleware-visible mutable ``state`` dict (auth principal, rate
+  windows... private to the connection);
+- the connection's channel :class:`Subscription`\\ s;
+- a bounded **push queue** between the window-close path and the
+  connection's sender task.
+
+The push queue is the slow-consumer valve: window closes enqueue
+instantly (the simulation must never block on a laggard dashboard), the
+sender task drains toward the transport, and when a subscriber cannot
+keep up the **oldest queued push is evicted** — counted per session and
+per subscription (``pushes_dropped``), never silent, so every consumer
+can reconcile ``received + dropped == emitted``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ServerError
+from repro.server.transport import Endpoint, Message
+
+_session_ids = itertools.count(1)
+_subscription_ids = itertools.count(1)
+
+
+@dataclass
+class Subscription:
+    """One session's standing subscription to a streaming view."""
+
+    subscription_id: int
+    view: str
+    tasks: frozenset[str] | None  #: None = every task the view tracks
+    alerts: bool
+    #: Exactly-once guard: newest window end already pushed, per task.
+    last_end: dict[str, float] = field(default_factory=dict)
+    #: Alerts already delivered (index into the engine log's ``total``),
+    #: per alert source (member name).
+    alerts_seen: dict[str, int] = field(default_factory=dict)
+    snapshots_pushed: int = 0
+    pushes_dropped: int = 0
+
+    def matches(self, task: str, view: str) -> bool:
+        return view == self.view and (self.tasks is None or task in self.tasks)
+
+    def should_push(self, task: str, end: float) -> bool:
+        """True exactly once per (task, window end) — dedup guard."""
+        last = self.last_end.get(task)
+        if last is not None and end <= last:
+            return False
+        self.last_end[task] = end
+        return True
+
+
+class PushQueue:
+    """Bounded FIFO between window closes and a session's sender task.
+
+    ``put`` is synchronous (callable from the simulator's window-close
+    callbacks); overflow evicts the **oldest** queued item and returns
+    it so the caller can account the drop.  ``get`` awaits the next
+    item.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ServerError(f"push queue capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._items: deque[Message] = deque()
+        self._ready = asyncio.Event()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Message) -> Optional[Message]:
+        """Enqueue; returns the evicted oldest item on overflow (else None)."""
+        dropped = None
+        if len(self._items) >= self.capacity:
+            dropped = self._items.popleft()
+        self._items.append(item)
+        self._ready.set()
+        return dropped
+
+    async def get(self) -> Message:
+        while not self._items:
+            self._ready.clear()
+            await self._ready.wait()
+        return self._items.popleft()
+
+
+class Session:
+    """One live connection's server-side state."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        clock: Callable[[], float],
+        queue_capacity: int = 256,
+    ):
+        self.session_id = next(_session_ids)
+        self.endpoint = endpoint
+        self._clock = clock
+        #: Middleware-visible mutable state, private to this connection.
+        self.state: dict[str, Any] = {}
+        self.subscriptions: dict[int, Subscription] = {}
+        self.queue = PushQueue(queue_capacity)
+        self.pushes_sent = 0
+        self.pushes_dropped = 0
+        self.closed = False
+        self._sender: asyncio.Task | None = None
+
+    @property
+    def now(self) -> float:
+        """The server clock (the deployment's simulated time)."""
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        view: str,
+        tasks: frozenset[str] | None = None,
+        alerts: bool = False,
+    ) -> Subscription:
+        subscription = Subscription(
+            subscription_id=next(_subscription_ids),
+            view=view,
+            tasks=tasks,
+            alerts=alerts,
+        )
+        self.subscriptions[subscription.subscription_id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription_id: int) -> Subscription:
+        if subscription_id not in self.subscriptions:
+            raise ServerError(f"unknown subscription {subscription_id}")
+        return self.subscriptions.pop(subscription_id)
+
+    # ------------------------------------------------------------------
+    # Push path
+    # ------------------------------------------------------------------
+
+    def push(self, message: Message, subscription: Subscription | None = None) -> bool:
+        """Enqueue one push toward this session (never blocks).
+
+        Returns False when the session is closed.  On overflow the
+        oldest queued push is evicted and counted against the session
+        and against the subscription it belonged to.
+        """
+        if self.closed:
+            return False
+        evicted = self.queue.put(message)
+        if evicted is not None:
+            self.pushes_dropped += 1
+            victim_id = evicted.get("subscription")
+            victim = self.subscriptions.get(victim_id) if victim_id else None
+            if victim is not None:
+                victim.pushes_dropped += 1
+        return True
+
+    def start_sender(self) -> asyncio.Task:
+        """Start the drain task: push queue -> transport endpoint."""
+        if self._sender is None:
+            self._sender = asyncio.get_running_loop().create_task(self._pump())
+        return self._sender
+
+    async def _pump(self) -> None:
+        while True:
+            message = await self.queue.get()
+            if message.get("type") == "_close":
+                return
+            try:
+                await self.endpoint.send(message)
+            except ServerError:
+                return  # endpoint closed under us; session teardown follows
+            self.pushes_sent += 1
+
+    async def close(self) -> None:
+        """Tear the session down: stop the sender, drop subscriptions."""
+        if self.closed:
+            return
+        self.closed = True
+        self.subscriptions.clear()
+        if self._sender is not None:
+            self.queue.put({"type": "_close"})
+            try:
+                await asyncio.wait_for(self._sender, timeout=1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._sender.cancel()
+        self.endpoint.close()
+
+    async def drain(self) -> None:
+        """Wait until every queued push reached the transport."""
+        while len(self.queue) and not self.closed:
+            await asyncio.sleep(0)

@@ -1,0 +1,183 @@
+"""Server transports: in-process message pipes and a real TCP binding.
+
+The server core speaks **messages** — JSON-able dicts — over an
+:class:`Endpoint` (``send`` / ``recv`` / ``close``), never sockets
+directly.  Two bindings implement it:
+
+- :class:`InProcessTransport` — a pair of asyncio queues, zero sockets.
+  Tests, benchmarks, and the CLI's simulated clients run on this: the
+  full protocol (handshake, requests, channel pushes) is exercised with
+  deterministic scheduling and no network dependency.  The client inbox
+  can be bounded (``client_capacity``) to emulate a slow consumer whose
+  TCP window stopped draining: the server-side sender then blocks and
+  the session's bounded push queue starts dropping oldest.
+- :func:`serve_tcp` / :func:`connect_tcp` — the same protocol over real
+  ``asyncio`` streams, framed as one JSON object per line.  A deployment
+  binds the production port; a WebSocket gateway terminates frames the
+  same way (message in, message out).
+
+Both ends see EOF as a normal close: :meth:`Endpoint.recv` returns
+``None`` and the server tears the session down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.errors import ServerError
+
+#: One protocol message: a JSON-able dict.
+Message = dict[str, Any]
+
+#: Sentinel queued to signal a closed pipe.
+_CLOSED = object()
+
+
+class Endpoint:
+    """One end of a bidirectional message pipe (abstract)."""
+
+    async def send(self, message: Message) -> None:
+        raise NotImplementedError
+
+    async def recv(self) -> Optional[Message]:
+        """The next inbound message, or ``None`` once the peer closed."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def remote(self) -> str:
+        """Peer description for logs / the connect hook."""
+        return "unknown"
+
+
+class _QueueEndpoint(Endpoint):
+    """One end of an in-process pipe: reads ``inbox``, writes ``outbox``."""
+
+    def __init__(self, inbox: asyncio.Queue, outbox: asyncio.Queue, remote: str):
+        self._inbox = inbox
+        self._outbox = outbox
+        self._remote = remote
+        self._closed = False
+
+    async def send(self, message: Message) -> None:
+        if self._closed:
+            raise ServerError("endpoint is closed")
+        # May block when the peer's inbox is bounded and full — that is
+        # the in-process stand-in for a TCP send buffer that stopped
+        # draining (slow consumer).
+        await self._outbox.put(message)
+
+    async def recv(self) -> Optional[Message]:
+        if self._closed:
+            return None
+        item = await self._inbox.get()
+        if item is _CLOSED:
+            self._closed = True
+            return None
+        return item
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Wake the peer's reader; bypass a full bounded queue bound.
+        try:
+            self._outbox.put_nowait(_CLOSED)
+        except asyncio.QueueFull:  # pragma: no cover - peer already stalled
+            pass
+
+    @property
+    def remote(self) -> str:
+        return self._remote
+
+
+class InProcessTransport:
+    """A socketless client<->server pipe built from two asyncio queues.
+
+    ``client_capacity`` bounds the client's inbox (0 = unbounded): a
+    bounded inbox makes ``server_end.send`` await once the client lags,
+    which is exactly how a kernel socket buffer pushes back on the
+    sender — the hook the session layer's drop-oldest policy needs.
+    """
+
+    def __init__(self, client_capacity: int = 0):
+        to_client: asyncio.Queue = asyncio.Queue(maxsize=client_capacity)
+        to_server: asyncio.Queue = asyncio.Queue()
+        self.client_end: Endpoint = _QueueEndpoint(
+            inbox=to_client, outbox=to_server, remote="in-process:server"
+        )
+        self.server_end: Endpoint = _QueueEndpoint(
+            inbox=to_server, outbox=to_client, remote="in-process:client"
+        )
+
+
+class _StreamEndpoint(Endpoint):
+    """JSON-lines framing over an asyncio TCP stream."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        peer = writer.get_extra_info("peername")
+        self._remote = f"{peer[0]}:{peer[1]}" if peer else "tcp:unknown"
+
+    async def send(self, message: Message) -> None:
+        data = json.dumps(message, separators=(",", ":")).encode() + b"\n"
+        async with self._lock:  # sender task and reply path share the pipe
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def recv(self) -> Optional[Message]:
+        try:
+            line = await self._reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+        if not line:
+            return None
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ServerError(f"malformed frame from {self._remote}: {error}")
+
+    def close(self) -> None:
+        self._writer.close()
+
+    @property
+    def remote(self) -> str:
+        return self._remote
+
+
+async def serve_tcp(
+    handler: Callable[[Endpoint], Awaitable[None]],
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Bind ``handler`` (the server's per-connection loop) to TCP.
+
+    Returns the listening :class:`asyncio.AbstractServer` (close it to
+    stop accepting); ``port=0`` picks a free port — read it back from
+    ``server.sockets[0].getsockname()[1]``.
+    """
+
+    async def on_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        endpoint = _StreamEndpoint(reader, writer)
+        try:
+            await handler(endpoint)
+        finally:
+            endpoint.close()
+
+    return await asyncio.start_server(on_connection, host=host, port=port)
+
+
+async def connect_tcp(host: str, port: int) -> Endpoint:
+    """Dial a :func:`serve_tcp` listener; returns the client endpoint."""
+    reader, writer = await asyncio.open_connection(host=host, port=port)
+    return _StreamEndpoint(reader, writer)

@@ -8,6 +8,7 @@ protocol's cancellation law over random participant sets.
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
@@ -30,11 +31,13 @@ class TestFixedPointCodecRoundTrip:
     def test_round_trip_within_half_ulp(self, value, decimals):
         codec = FixedPointCodec(decimals)
         # encode() rounds to the nearest fixed-point step, so the decode
-        # lands within half a step of the original (both signs); the
-        # relative slack absorbs float error at exactly-half-step inputs.
+        # lands within half a step of the original (both signs).  The
+        # decoded float itself carries up to ~1 ulp of representation
+        # error at large magnitudes (e.g. 2**26 + fraction with
+        # decimals=5), so the bound allows that on top of the half step.
         assert abs(codec.decode(codec.encode(value)) - value) <= (
             0.5 / codec.scale
-        ) * (1.0 + 1e-9)
+        ) * (1.0 + 1e-9) + 2.0 * math.ulp(abs(value))
 
     @given(value=finite_values)
     def test_negative_values_encrypt_and_round_trip(self, value):

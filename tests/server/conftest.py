@@ -1,0 +1,92 @@
+"""Shared helpers for the serving-tier tests.
+
+pytest-asyncio is not a dependency: every async scenario runs through
+``asyncio.run`` inside a synchronous test (the :func:`run` helper), so
+the suite works on a bare pytest install.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, TypeVar
+
+import pytest
+
+from repro.apisense.hive import Hive
+from repro.apisense.honeycomb import Honeycomb
+from repro.apisense.tasks import SensingTask
+from repro.server import ReproServer, ServerClient
+from repro.simulation import Simulator
+from repro.streams import StreamEngine, WindowSpec
+
+T = TypeVar("T")
+
+#: The tumbling dashboard window every fixture registers.
+WINDOW = 300.0
+VIEW = "m5"
+
+
+def run(coro: Awaitable[T]) -> T:
+    """Run one async test body on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def make_hive(
+    sim: Simulator,
+    tasks: tuple[str, ...] = ("t",),
+    view: str = VIEW,
+    lateness: float = 1800.0,
+    alert_capacity: int = 256,
+) -> Hive:
+    """A Hive with a registered dashboard view and adopted tasks.
+
+    ``lateness=0`` makes windows close as soon as the event-time
+    watermark passes them — the live-push tests replay records and watch
+    pushes arrive without needing ``finalize()``.
+    """
+    hive = Hive(
+        sim,
+        streams=StreamEngine(
+            sim=sim, allowed_lateness=lateness, alert_capacity=alert_capacity
+        ),
+    )
+    hive.streams.register_view(view, WindowSpec.tumbling(WINDOW))
+    owner = Honeycomb("tests", hive)
+    for name in tasks:
+        task = SensingTask(
+            name=name,
+            sensors=("gps", "battery"),
+            sampling_period=60.0,
+            upload_period=WINDOW,
+            end=86400.0,
+        )
+        owner.register_task(task)
+        hive.adopt_task(task, owner)
+    return hive
+
+
+async def connect(
+    server: ReproServer,
+    headers: dict[str, str] | None = None,
+    client_capacity: int = 0,
+) -> ServerClient:
+    """One connected in-process client."""
+    client = ServerClient(server.connect_in_process(client_capacity))
+    await client.connect(headers)
+    return client
+
+
+async def settle(client: ServerClient) -> list[dict]:
+    """Drain every in-flight push to ``client`` (post-``server.drain``)."""
+    pushes: list[dict] = []
+    while True:
+        await asyncio.sleep(0)
+        fresh = client.drain_pushes()
+        if not fresh:
+            return pushes
+        pushes.extend(fresh)
+
+
+@pytest.fixture()
+def sim() -> Simulator:
+    return Simulator()

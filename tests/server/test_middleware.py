@@ -1,0 +1,199 @@
+"""Middleware-chain semantics: ordering, short-circuit, session state."""
+
+import asyncio
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server import (
+    Deny,
+    MetricsMiddleware,
+    MiddlewareChain,
+    Ok,
+    RateLimitMiddleware,
+    Redirect,
+    ReproServer,
+    ServerDenied,
+    ServerMiddleware,
+)
+from tests.server.conftest import connect, make_hive, run
+
+
+class Recorder(ServerMiddleware):
+    """Appends to a shared trace on the way down and on the way up."""
+
+    def __init__(self, name: str, trace: list):
+        self.name = name
+        self.trace = trace
+
+    async def request(self, *, request, session, next):
+        self.trace.append(f"{self.name}:down")
+        result = await next()
+        self.trace.append(f"{self.name}:up")
+        return result
+
+
+class DenyAll(ServerMiddleware):
+    async def request(self, *, request, session, next):
+        return Deny("computer says no")
+
+
+class RedirectAll(ServerMiddleware):
+    async def request(self, *, request, session, next):
+        return Redirect("other-hive")
+
+
+class BadReturn(ServerMiddleware):
+    async def request(self, *, request, session, next):
+        return "not a chain result"
+
+
+def _session() -> SimpleNamespace:
+    return SimpleNamespace(state={}, now=0.0)
+
+
+def run_chain(chain: MiddlewareChain, trace: list, session=None):
+    async def terminal():
+        trace.append("terminal")
+        return Ok("payload")
+
+    return run(
+        chain.run("request", session or _session(), terminal, request=None)
+    )
+
+
+class TestChainSemantics:
+    def test_onion_ordering(self):
+        trace: list = []
+        chain = MiddlewareChain([Recorder("a", trace), Recorder("b", trace)])
+        result = run_chain(chain, trace)
+        assert isinstance(result, Ok) and result.payload == "payload"
+        assert trace == ["a:down", "b:down", "terminal", "b:up", "a:up"]
+
+    def test_deny_short_circuits_later_middlewares_and_terminal(self):
+        trace: list = []
+        chain = MiddlewareChain(
+            [Recorder("a", trace), DenyAll(), Recorder("b", trace)]
+        )
+        result = run_chain(chain, trace)
+        assert isinstance(result, Deny)
+        assert result.reason == "computer says no"
+        # b never saw the call, the terminal never ran, a saw the result
+        # on the way back up.
+        assert trace == ["a:down", "a:up"]
+
+    def test_redirect_short_circuits(self):
+        trace: list = []
+        chain = MiddlewareChain([RedirectAll(), Recorder("a", trace)])
+        result = run_chain(chain, trace)
+        assert isinstance(result, Redirect) and result.target == "other-hive"
+        assert trace == []
+
+    def test_empty_chain_runs_terminal(self):
+        trace: list = []
+        result = run_chain(MiddlewareChain(), trace)
+        assert isinstance(result, Ok)
+        assert trace == ["terminal"]
+
+    def test_bad_return_type_raises(self):
+        with pytest.raises(ServerError):
+            run_chain(MiddlewareChain([BadReturn()]), [])
+
+    def test_unknown_hook_rejected(self):
+        async def terminal():
+            return Ok()
+
+        with pytest.raises(ServerError):
+            run(MiddlewareChain().run("teardown", _session(), terminal))
+
+    def test_non_middleware_rejected(self):
+        with pytest.raises(ServerError):
+            MiddlewareChain([object()])
+
+    def test_metrics_observe_downstream_denials(self):
+        trace: list = []
+        metrics = MetricsMiddleware()
+        chain = MiddlewareChain([metrics, DenyAll()])
+
+        async def terminal():
+            return Ok()
+
+        request = SimpleNamespace(surface="query", action="aggregate")
+        result = run(
+            chain.run("request", _session(), terminal, request=request)
+        )
+        assert isinstance(result, Deny)
+        assert metrics.counters.requests == 1
+        assert metrics.counters.denied == 1
+        assert metrics.counters.by_surface == {"query": 1}
+        assert any("DENY" in line for line in metrics.log)
+        del trace
+
+
+class SessionCounter(ServerMiddleware):
+    """Counts this session's requests in its private state dict, with a
+    forced yield between read and write to invite cross-session races."""
+
+    async def request(self, *, request, session, next):
+        count = session.state.get("count", 0)
+        await asyncio.sleep(0)  # interleave with other sessions
+        session.state["count"] = count + 1
+        session.state.setdefault("sessions_seen", set()).add(id(session))
+        return await next()
+
+
+class TestSessionStateIsolation:
+    def test_state_is_private_per_session_under_concurrency(self, sim):
+        """Two sessions issuing interleaved requests each count only
+        their own calls — the state dict is per-connection, not global."""
+        hive = make_hive(sim)
+        counter = SessionCounter()
+        server = ReproServer(hive, middlewares=[counter])
+
+        async def scenario():
+            one = await connect(server)
+            two = await connect(server)
+            await asyncio.gather(
+                *[one.request("query", "tasks") for _ in range(7)],
+                *[two.request("query", "tasks") for _ in range(3)],
+            )
+            counts = {
+                s.state["count"] for s in server._sessions.values()
+            }
+            assert counts == {7, 3}
+            seen = [
+                s.state["sessions_seen"] for s in server._sessions.values()
+            ]
+            assert all(len(ids) == 1 for ids in seen)
+            await one.close()
+            await two.close()
+
+        run(scenario())
+
+
+class TestRateLimit:
+    def test_excess_calls_denied_then_window_resets(self, sim):
+        hive = make_hive(sim)
+        server = ReproServer(
+            hive, middlewares=[RateLimitMiddleware(3, window_seconds=60.0)]
+        )
+
+        async def scenario():
+            client = await connect(server)
+            for _ in range(3):
+                await client.request("query", "tasks")
+            with pytest.raises(ServerDenied) as denied:
+                await client.request("query", "tasks")
+            assert "rate limit" in str(denied.value)
+            sim.run_until(61.0)  # the fixed window rolls over
+            assert await client.request("query", "tasks") is not None
+            await client.close()
+
+        run(scenario())
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ServerError):
+            RateLimitMiddleware(0)
+        with pytest.raises(ServerError):
+            RateLimitMiddleware(1, window_seconds=0.0)

@@ -1,0 +1,361 @@
+"""The three serving surfaces: ingest, query, channel — plus transports.
+
+Covers the handshake, auth denial of **each** surface, the
+backpressure mapping from the ingest pipeline onto upload replies,
+federated routing, the monitoring integration, and a TCP smoke test
+(same protocol as in-process, real sockets).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.apisense.honeycomb import Honeycomb
+from repro.apisense.hive import Hive
+from repro.apisense.monitoring import snapshot
+from repro.errors import ServerError
+from repro.server import (
+    AuthTokenMiddleware,
+    Redirect,
+    ReproServer,
+    ServerClient,
+    ServerDenied,
+    ServerMiddleware,
+    ServerRedirected,
+    connect_tcp,
+)
+from repro.simulation import Simulator
+from repro.store import DatasetStore, IngestPipeline
+from repro.streams import StreamEngine, WindowSpec
+from tests.server.conftest import (
+    VIEW,
+    WINDOW,
+    connect,
+    make_hive,
+    run,
+    settle,
+)
+from tests.store.conftest import make_records
+
+
+def drive_and_flush(server, hive, until):
+    """Advance the sim past ``until`` and force every window closed."""
+
+    async def inner():
+        await server.drive(until, slice_seconds=WINDOW / 2)
+        hive.pipeline.flush_all()
+        hive.streams.finalize()  # close windows the lateness bound holds open
+
+    return inner()
+
+
+class TestAnchoring:
+    def test_exactly_one_anchor_required(self, sim):
+        hive = make_hive(sim)
+        with pytest.raises(ServerError):
+            ReproServer()
+        with pytest.raises(ServerError):
+            ReproServer(hive, engine=hive.streams)
+
+    def test_engine_only_server_has_no_ingest_or_query(self, sim):
+        engine = StreamEngine(sim=sim)
+        engine.register_view("v", WindowSpec.tumbling(300.0))
+        server = ReproServer(engine=engine, sim=sim)
+
+        async def scenario():
+            client = await connect(server)
+            with pytest.raises(ServerError):
+                await client.upload("d", "u", "t", [])
+            with pytest.raises(ServerError):
+                await client.aggregate("t")
+            await client.close()
+
+        run(scenario())
+
+
+class TestHandshake:
+    def test_connect_assigns_session_and_counts(self, sim):
+        server = ReproServer(make_hive(sim))
+
+        async def scenario():
+            one = await connect(server)
+            two = await connect(server)
+            assert one.session_id != two.session_id
+            assert server.sessions_active == 2
+            await one.close()
+            await two.close()
+            await asyncio.sleep(0)  # the handler loops observe EOF
+            await asyncio.sleep(0)
+            assert server.sessions_active == 0
+            assert server.stats.sessions_closed == 2
+
+        run(scenario())
+
+    def test_non_connect_first_message_denied(self, sim):
+        server = ReproServer(make_hive(sim))
+
+        async def scenario():
+            endpoint = server.connect_in_process()
+            await endpoint.send({"type": "request", "surface": "query"})
+            reply = await endpoint.recv()
+            assert reply["type"] == "deny"
+            endpoint.close()
+
+        run(scenario())
+
+    def test_redirecting_connect_middleware(self, sim):
+        class ToPartner(ServerMiddleware):
+            async def connect(self, *, request, session, next):
+                return Redirect("partner-hive:9999")
+
+        server = ReproServer(make_hive(sim), middlewares=[ToPartner()])
+
+        async def scenario():
+            client = ServerClient(server.connect_in_process())
+            with pytest.raises(ServerRedirected) as redirected:
+                await client.connect()
+            assert redirected.value.target == "partner-hive:9999"
+            assert server.stats.redirects == 1
+
+        run(scenario())
+
+
+AUTH = {"ingest-token": "collector", "query-token": "analyst", "all-token": "admin"}
+SCOPES = {
+    "collector": {"ingest"},
+    "analyst": {"query"},
+    "admin": {"ingest", "query", "channel"},
+}
+
+
+def scoped_server(sim) -> tuple[ReproServer, Hive]:
+    hive = make_hive(sim)
+    return ReproServer(hive, middlewares=[AuthTokenMiddleware(AUTH, SCOPES)]), hive
+
+
+class TestAuthGatesEverySurface:
+    def test_bad_token_denied_at_handshake(self, sim):
+        server, _ = scoped_server(sim)
+
+        async def scenario():
+            client = ServerClient(server.connect_in_process())
+            with pytest.raises(ServerDenied):
+                await client.connect({"authorization": "wrong"})
+            assert server.stats.denials_connect == 1
+
+        run(scenario())
+
+    def test_ingestion_denied_without_scope(self, sim):
+        server, _ = scoped_server(sim)
+
+        async def scenario():
+            analyst = await connect(server, {"authorization": "query-token"})
+            with pytest.raises(ServerDenied) as denied:
+                await analyst.upload("d0", "u0", "t", make_records(2, dt=1.0))
+            assert "ingest" in denied.value.reason
+            assert server.stats.denials_request == 1
+            assert server.stats.requests_ingest == 0  # terminal never ran
+            await analyst.close()
+
+        run(scenario())
+
+    def test_query_denied_without_scope(self, sim):
+        server, _ = scoped_server(sim)
+
+        async def scenario():
+            collector = await connect(server, {"authorization": "ingest-token"})
+            with pytest.raises(ServerDenied) as denied:
+                await collector.aggregate("t")
+            assert "query" in denied.value.reason
+            assert server.stats.denials_request == 1
+            assert server.stats.requests_query == 0
+            await collector.close()
+
+        run(scenario())
+
+    def test_channel_subscribe_denied_without_scope(self, sim):
+        server, _ = scoped_server(sim)
+
+        async def scenario():
+            collector = await connect(server, {"authorization": "ingest-token"})
+            with pytest.raises(ServerDenied) as denied:
+                await collector.subscribe(VIEW)
+            assert "channel" in denied.value.reason
+            assert server.stats.denials_channel == 1
+            assert server.subscriptions_active == 0
+            await collector.close()
+
+        run(scenario())
+
+
+class TestIngestSurface:
+    def test_upload_reaches_store_and_query_reads_back(self, sim):
+        hive = make_hive(sim)
+        server = ReproServer(hive)
+
+        async def scenario():
+            client = await connect(server)
+            reply = await client.upload("d0", "u0", "t", make_records(40, dt=10.0))
+            assert reply["accepted"] == 40
+            assert reply["status"] == "ok"
+            assert reply["member"] == "local"
+            await drive_and_flush(server, hive, 1000.0)
+            aggregate = await client.aggregate("t")
+            assert aggregate["records"] == 40
+            assert aggregate["members"] == ["local"]
+            secure = await client.secure_aggregate("t")
+            assert secure["records"] == 40
+            await client.close()
+
+        run(scenario())
+
+    def test_backpressure_mapped_onto_the_reply(self, sim):
+        """A rejecting pipeline's shed counters come back to the
+        uploader — the client sees exactly what the gateway shed."""
+        store = DatasetStore(n_shards=1, segment_capacity=64)
+        pipeline = IngestPipeline(
+            sim, store, policy="reject", buffer_capacity=16, flush_delay=5.0
+        )
+        hive = Hive(sim, store=store, pipeline=pipeline)
+        hive.streams.register_view(VIEW, WindowSpec.tumbling(WINDOW))
+        owner = Honeycomb("tests", hive)
+        from repro.apisense.tasks import SensingTask
+
+        task = SensingTask(
+            name="t", sensors=("gps", "battery"), sampling_period=60.0,
+            upload_period=300.0, end=86400.0,
+        )
+        owner.register_task(task)
+        hive.adopt_task(task, owner)
+        server = ReproServer(hive)
+
+        async def scenario():
+            client = await connect(server)
+            reply = await client.upload("d0", "u0", "t", make_records(50, dt=1.0))
+            assert reply["status"] == "backpressure"
+            assert reply["accepted"] + reply["rejected"] == 50
+            assert reply["rejected"] == pipeline.stats.rejected > 0
+            # The per-connection accounting rides in the session state.
+            state = next(iter(server._sessions.values())).state
+            assert state["ingest.accepted"] == reply["accepted"]
+            assert state["ingest.rejected"] == reply["rejected"]
+            await client.close()
+
+        run(scenario())
+
+    def test_malformed_upload_is_an_error_not_a_crash(self, sim):
+        server = ReproServer(make_hive(sim))
+
+        async def scenario():
+            client = await connect(server)
+            with pytest.raises(ServerError):
+                await client.request("ingest", "upload", {"device_id": "d"})
+            with pytest.raises(ServerError):
+                await client.request("nosuch", "upload", {})
+            with pytest.raises(ServerError):
+                await client.request("query", "nosuch", {"task": "t"})
+            # the session survives bad requests
+            assert (await client.request("query", "tasks"))["tasks"] == []
+            await client.close()
+
+        run(scenario())
+
+
+class TestFederatedServer:
+    def test_router_mode_routes_and_aggregates_across_members(self, sim):
+        from tests.federation.conftest import build_router, gps_task
+
+        router = build_router(sim, 3)
+        for name in router.member_names:
+            router.hive(name).streams.register_view(
+                VIEW, WindowSpec.tumbling(WINDOW)
+            )
+        owner = Honeycomb("lab", router.hive("hive-0"))
+        router.syndicate(gps_task("t"), owner, home="hive-0")
+        server = ReproServer(router=router)
+
+        async def scenario():
+            client = await connect(server)
+            members = set()
+            for index in range(12):
+                reply = await client.upload(
+                    f"device-{index:03d}", f"u{index}", "t",
+                    make_records(5, user=f"u{index}", dt=30.0),
+                )
+                assert reply["accepted"] == 5
+                members.add(reply["member"])
+            assert len(members) > 1  # the ring spread the fleet
+            await server.drive(1000.0, slice_seconds=100.0)
+            for name in router.member_names:
+                router.hive(name).pipeline.flush_all()
+            aggregate = await client.aggregate("t")
+            assert aggregate["records"] == 60
+            assert set(aggregate["members"]) == set(router.member_names)
+            assert sum(aggregate["per_member_records"].values()) == 60
+            secure = await client.secure_aggregate("t")
+            assert secure["records"] == 60
+            await client.close()
+
+        run(scenario())
+
+
+class TestMonitoringIntegration:
+    def test_health_report_carries_server_counters(self, sim):
+        hive = make_hive(sim)
+        server = ReproServer(hive)
+
+        async def scenario():
+            client = await connect(server)
+            await client.subscribe(VIEW)
+            await client.upload("d0", "u0", "t", make_records(30, dt=20.0))
+            await drive_and_flush(server, hive, 1200.0)
+            await server.drain()
+            await settle(client)
+            report = snapshot(hive, sim.now, server=server)
+            assert report.server_attached
+            assert report.server_sessions == 1
+            assert report.server_subscriptions == 1
+            assert report.server_pushes_sent >= 1
+            assert report.server_pushes_dropped == 0
+            text = report.to_text()
+            assert "server: 1 sessions" in text
+            assert "alerts evicted" in text
+            await client.close()
+
+        run(scenario())
+
+    def test_report_without_server_has_no_server_line(self, sim):
+        hive = make_hive(sim)
+        report = snapshot(hive, 0.0)
+        assert not report.server_attached
+        assert "server:" not in report.to_text()
+
+
+class TestTcpTransport:
+    def test_same_protocol_over_real_sockets(self, sim):
+        hive = make_hive(sim)
+        server = ReproServer(hive)
+
+        async def scenario():
+            try:
+                listener = await server.serve_tcp(port=0)
+            except OSError as error:  # pragma: no cover - sandboxed CI
+                pytest.skip(f"cannot bind sockets here: {error}")
+            port = listener.sockets[0].getsockname()[1]
+            client = ServerClient(await connect_tcp("127.0.0.1", port))
+            await client.connect()
+            reply = await client.upload("d0", "u0", "t", make_records(8, dt=30.0))
+            assert reply["accepted"] == 8
+            await drive_and_flush(server, hive, 600.0)
+            await server.drain()
+            aggregate = await client.aggregate("t")
+            assert aggregate["records"] == 8
+            sub = await client.subscribe(VIEW, catch_up=True)
+            assert sub["catchup"] >= 1
+            pushes = await settle(client)
+            assert any(p["kind"] == "snapshot" for p in pushes)
+            await client.close()
+            listener.close()
+            await listener.wait_closed()
+
+        run(scenario())

@@ -341,6 +341,27 @@ class TestStreamCommands:
         assert "watched" in output
 
 
+class TestServeCommand:
+    def test_serve_pushes_to_all_clients(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--users", "6",
+                "--days", "1",
+                "--clients", "2",
+                "--window", "21600",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        # The health report grew a serving-tier line...
+        assert "server: " in output
+        assert "middleware denials" in output
+        # ...and both dashboard sessions drained their pushes.
+        assert "served 2 dashboard clients" in output
+        assert "0 dropped (slow consumers)" in output
+
+
 class TestTaskCommands:
     @pytest.fixture()
     def good_spec(self, tmp_path):

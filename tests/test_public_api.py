@@ -27,6 +27,7 @@ PUBLIC_PACKAGES = [
     "repro.store",
     "repro.streams",
     "repro.federation",
+    "repro.server",
     "repro.core",
 ]
 
