@@ -48,6 +48,11 @@ class SensorRecord:
     task: str
     time: float
     values: Mapping[str, object]
+    #: Observability lineage: set by the ingest gateway when the upload
+    #: is traced (see :mod:`repro.obs.tracing`).  ``None`` — the vast
+    #: majority of records — means untraced; comparisons and hashing
+    #: still work upload-batch-wide because the id is per-upload.
+    trace_id: int | None = None
 
 
 class DeviceScriptRuntime(ScriptRuntime):

@@ -8,9 +8,12 @@ runs the incentive engine over the user community.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro import obs
 
 from repro.apisense.device import MobileDevice, SensorRecord
 from repro.apisense.incentives import (
@@ -272,8 +275,30 @@ class Hive:
         stats.uploads += 1
         self.stats.messages_sent += 1
 
+        # Observability: a sampled upload becomes the root of a trace —
+        # its records carry the trace id downstream (flush, store write,
+        # window close all happen in *later* simulator events, so the
+        # lineage travels with the data, not the call stack).
+        tracer = obs.tracer()
+        trace_id = tracer.new_trace() if records else None
+        if trace_id is not None:
+            records = [
+                dataclasses.replace(r, trace_id=trace_id) for r in records
+            ]
+
         dropped_before = self.pipeline.stats.dropped
-        accepted = self.pipeline.submit(records) if records else 0
+        if trace_id is not None:
+            with tracer.span(
+                "ingest.admit",
+                trace_id=trace_id,
+                device=device_id,
+                task=task_name,
+                batch=len(records),
+            ) as span:
+                span.add_records({trace_id: [r.time for r in records]})
+                accepted = self.pipeline.submit(records)
+        else:
+            accepted = self.pipeline.submit(records) if records else 0
         stats.records += accepted
         if (
             stats.first_record_time is None

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.apisense.hive import Hive
 from repro.apisense.metrics import acceptance_rate
 
@@ -79,8 +80,14 @@ class PlatformHealthReport:
     #: drop-oldest, and middleware denials across all surfaces.
     server_sessions: int = 0
     server_subscriptions: int = 0
+    #: Push accounting, reconciling per message:
+    #: ``enqueued = sent + dropped + queued`` (a push is exactly one of
+    #: delivered, evicted by drop-oldest, or still waiting in a live
+    #: session's queue) — :attr:`server_push_unaccounted` asserts it.
+    server_pushes_enqueued: int = 0
     server_pushes_sent: int = 0
     server_pushes_dropped: int = 0
+    server_pushes_queued: int = 0
     server_denials: int = 0
     #: True when this snapshot was taken with a serving tier attached
     #: (all-zero server counters are then meaningful, not absent).
@@ -106,6 +113,20 @@ class PlatformHealthReport:
             - self.pipeline_buffered
             - self.pipeline_backlog
             - self.store_records
+        )
+
+    @property
+    def server_push_unaccounted(self) -> int:
+        """Pushes the dashboard cannot place (0 when healthy).
+
+        ``enqueued - sent - dropped - queued``; non-zero means the
+        serving tier's push accounting desynced from the registry.
+        """
+        return (
+            self.server_pushes_enqueued
+            - self.server_pushes_sent
+            - self.server_pushes_dropped
+            - self.server_pushes_queued
         )
 
     def to_text(self) -> str:
@@ -138,10 +159,16 @@ class PlatformHealthReport:
             lines.append(
                 f"  server: {self.server_sessions} sessions, "
                 f"{self.server_subscriptions} subscriptions, "
-                f"{self.server_pushes_sent} pushes sent, "
+                f"{self.server_pushes_sent}/{self.server_pushes_enqueued} "
+                f"pushes sent, "
                 f"{self.server_pushes_dropped} dropped (slow consumers), "
                 f"{self.server_denials} middleware denials"
             )
+        else:
+            # A missing serving tier is *absent*, not idle — all-zero
+            # counters here would read as "healthy but quiet" when in
+            # fact nobody is watching the tier at all.
+            lines.append("  server: tier not attached (no serving-tier data)")
         for task in self.tasks:
             lines.append(
                 f"  task {task.task}: {task.records} records, "
@@ -161,6 +188,15 @@ def snapshot(
 
     ``server`` (a :class:`repro.server.server.ReproServer`, optional)
     adds the serving tier's session/push/denial counters to the report.
+
+    Counter-valued fields are read from the shared
+    :class:`~repro.obs.registry.MetricsRegistry` — the same instruments
+    the Prometheus exposition and the ``obs`` CLI serve — so the
+    dashboard can never drift from the observability plane.  When the
+    registry is disabled (``obs.configure(metrics=False)``) the
+    instruments are no-ops, so the dashboard falls back to the
+    components' own counter objects; level-valued fields (buffer
+    depths, live views, sessions) always read the live objects.
     """
     levels = [device.battery.level(time) for device in hive.devices]
     motivations = [state.motivation for state in hive.community.values()]
@@ -180,6 +216,48 @@ def snapshot(
         (hive.store.aggregates.task(name).lag_p95 for name in hive.store.aggregates.tasks),
         default=0.0,
     )
+    live = _obs.metrics_registry().enabled
+    if live:
+        pobs = pipeline.obs
+        flushes = int(pobs.flushes.value)
+        flushed = int(pobs.flushed.value)
+        accepted = int(pobs.accepted.value)
+        dropped = int(pobs.dropped.value)
+        rejected = int(pobs.rejected.value)
+        spilled = int(pobs.spilled.value)
+        store_records = int(hive.store.obs.records_appended.value)
+    else:
+        flushes = pipeline.stats.flushes
+        flushed = pipeline.stats.flushed_records
+        accepted = pipeline.stats.accepted
+        dropped = pipeline.stats.dropped
+        rejected = pipeline.stats.rejected
+        spilled = pipeline.stats.spilled
+        store_records = store_stats.records
+    if server is not None:
+        sobs = server.obs
+        if live:
+            pushes_enqueued = int(sobs.pushes_enqueued.value)
+            pushes_sent = int(sobs.pushes_sent.value)
+            pushes_dropped = int(sobs.pushes_dropped.value)
+            denials = int(
+                sobs.registry.total(
+                    "repro_server_denials_total", instance=sobs.instance
+                )
+            )
+        else:
+            pushes_enqueued = (
+                server.pushes_sent
+                + server.pushes_dropped
+                + server.pushes_queued
+            )
+            pushes_sent = server.pushes_sent
+            pushes_dropped = server.pushes_dropped
+            denials = server.stats.denials
+        pushes_queued = server.pushes_queued
+    else:
+        pushes_enqueued = pushes_sent = pushes_dropped = 0
+        pushes_queued = denials = 0
     return PlatformHealthReport(
         time=time,
         devices=len(hive.devices),
@@ -190,17 +268,17 @@ def snapshot(
         at_risk_users=sum(1 for motivation in motivations if motivation < at_risk),
         transport_loss_rate=hive.transport.stats.loss_rate,
         messages_sent=hive.stats.messages_sent,
-        store_records=store_stats.records,
+        store_records=store_records,
         store_segments=store_stats.segments,
         store_shards=store_stats.n_shards,
-        pipeline_flushes=pipeline.stats.flushes,
+        pipeline_flushes=flushes,
         pipeline_buffered=pipeline.buffered,
         pipeline_backlog=pipeline.backlog,
-        pipeline_accepted=pipeline.stats.accepted,
-        pipeline_dropped=pipeline.stats.dropped,
-        pipeline_rejected=pipeline.stats.rejected,
-        pipeline_spilled=pipeline.stats.spilled,
-        mean_flush_batch=pipeline.stats.mean_flush_batch,
+        pipeline_accepted=accepted,
+        pipeline_dropped=dropped,
+        pipeline_rejected=rejected,
+        pipeline_spilled=spilled,
+        mean_flush_batch=flushed / flushes if flushes else 0.0,
         ingest_lag_p95=lag_p95,
         stream_views=hive.streams.active_view_count,
         stream_last_rate=hive.streams.last_window_rate,
@@ -210,9 +288,11 @@ def snapshot(
         server_subscriptions=(
             server.subscriptions_active if server is not None else 0
         ),
-        server_pushes_sent=server.pushes_sent if server is not None else 0,
-        server_pushes_dropped=server.pushes_dropped if server is not None else 0,
-        server_denials=server.stats.denials if server is not None else 0,
+        server_pushes_enqueued=pushes_enqueued,
+        server_pushes_sent=pushes_sent,
+        server_pushes_dropped=pushes_dropped,
+        server_pushes_queued=pushes_queued,
+        server_denials=denials,
         server_attached=server is not None,
         tasks=tasks,
     )

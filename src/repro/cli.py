@@ -353,10 +353,15 @@ def _replay_csv_through_streams(args: argparse.Namespace, engine) -> None:
 
     Rows are replayed at their own timestamps (the arrival order a live
     deployment would see), so windows close as simulated event time —
-    not file order — advances.
+    not file order — advances.  Each same-timestamp group goes through a
+    traced admit gate (the Hive gateway pattern): when record tracing is
+    on, sampled groups carry a trace id end to end; when it's off the
+    gate is a no-op.
     """
+    import dataclasses
     import itertools
 
+    from repro import obs
     from repro.apisense.device import SensorRecord
     from repro.simulation import Simulator
     from repro.store import DatasetStore, IngestPipeline
@@ -377,12 +382,27 @@ def _replay_csv_through_streams(args: argparse.Namespace, engine) -> None:
     )
     sim = Simulator()
     engine.bind_clock(sim)  # lag views measure this replay's pipeline delay
+    obs.configure(clock=lambda: sim.now)
     store = DatasetStore(n_shards=args.shards)
     pipeline = IngestPipeline(sim, store, flush_delay=args.flush_delay)
     engine.attach(pipeline)
+    tracer = obs.tracer()
     for timestamp, group in itertools.groupby(records, key=lambda r: r.time):
         sim.run_until(max(sim.now, timestamp))
-        pipeline.submit(list(group))
+        batch = list(group)
+        trace_id = tracer.new_trace()
+        if trace_id is None:
+            pipeline.submit(batch)
+            continue
+        batch = [dataclasses.replace(r, trace_id=trace_id) for r in batch]
+        with tracer.span(
+            "ingest.admit",
+            trace_id=trace_id,
+            task=args.task_name,
+            batch=len(batch),
+        ) as span:
+            span.add_records({trace_id: [r.time for r in batch]})
+            pipeline.submit(batch)
     sim.run()
     pipeline.flush_all()
     engine.finalize()
@@ -573,6 +593,79 @@ def cmd_stream_watch(args: argparse.Namespace) -> int:
     )
     for alert in engine.alerts.alerts():
         print("  ALERT " + alert.to_text())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ``obs`` subcommands (observability: registry / hot paths / traces)
+# ----------------------------------------------------------------------
+
+
+def _run_observed_replay(args: argparse.Namespace, tracing: bool) -> None:
+    """Replay ``--input`` through the full record path with obs on."""
+    from repro import obs
+
+    obs.configure(
+        metrics=True,
+        tracing=tracing,
+        sample_rate=args.sample_rate if tracing else 1.0,
+    )
+    engine = _build_stream_engine(args)
+    _replay_csv_through_streams(args, engine)
+
+
+def cmd_obs_dump(args: argparse.Namespace) -> int:
+    """Replay a workload and dump the registry (Prometheus text format)."""
+    from repro import obs
+
+    _run_observed_replay(args, tracing=False)
+    print(obs.render_prometheus(), end="")
+    return 0
+
+
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    """Replay a workload and print the hot-path table (hottest first)."""
+    from repro import obs
+
+    _run_observed_replay(args, tracing=False)
+    rows = obs.hot_paths()
+    for row in rows[: args.limit]:
+        print(row.to_text())
+    if len(rows) > args.limit:
+        print(f"... {len(rows) - args.limit} more stages (raise --limit)")
+    return 0
+
+
+def cmd_obs_trace(args: argparse.Namespace) -> int:
+    """Replay a workload with record tracing and print trace trees."""
+    from repro import obs
+    from repro.obs import record_paths, trace_tree
+
+    _run_observed_replay(args, tracing=True)
+    log = obs.tracer().log
+    ids = log.trace_ids()
+    print(
+        f"trace log: {log.total} spans ({log.dropped} evicted), "
+        f"{len(ids)} traces, sample rate {args.sample_rate:g}"
+    )
+    paths = record_paths(log)
+    complete = sum(
+        1
+        for stages in paths.values()
+        if all(
+            len(stages.get(s, ())) == 1
+            for s in ("ingest.flush", "store.append", "stream.window")
+        )
+    )
+    print(
+        f"record paths: {len(paths)} traced records, "
+        f"{complete} with exactly-once pipeline -> store -> window delivery"
+    )
+    wanted = [args.trace_id] if args.trace_id is not None else ids[: args.limit]
+    for trace_id in wanted:
+        print(f"trace {trace_id}:")
+        for depth, span in trace_tree(log, trace_id):
+            print("  " + "  " * depth + span.to_text())
     return 0
 
 
@@ -1192,6 +1285,57 @@ def build_parser() -> argparse.ArgumentParser:
     add_stream_queries(stream_watch)
     stream_watch.add_argument("--limit", type=int, help="stop printing after N windows")
     stream_watch.set_defaults(handler=cmd_stream_watch)
+
+    obs = commands.add_parser(
+        "obs",
+        help="observability: metrics dump / hot-path table / record traces "
+        "(repro.obs)",
+    )
+    obs_commands = obs.add_subparsers(
+        dest="obs_command",
+        title="obs subcommands",
+        required=True,
+    )
+
+    obs_dump = obs_commands.add_parser(
+        "dump",
+        help="replay a CSV through the record path, dump the metrics "
+        "registry in the Prometheus text format",
+    )
+    add_stream_common(obs_dump)
+    obs_dump.add_argument(
+        "--sample-rate", type=float, default=1.0, help=argparse.SUPPRESS
+    )
+    obs_dump.set_defaults(handler=cmd_obs_dump)
+
+    obs_top = obs_commands.add_parser(
+        "top", help="replay a CSV and print the hot-path latency table"
+    )
+    add_stream_common(obs_top)
+    obs_top.add_argument(
+        "--limit", type=int, default=10, help="stages shown (hottest first)"
+    )
+    obs_top.add_argument(
+        "--sample-rate", type=float, default=1.0, help=argparse.SUPPRESS
+    )
+    obs_top.set_defaults(handler=cmd_obs_top)
+
+    obs_trace = obs_commands.add_parser(
+        "trace",
+        help="replay a CSV with record tracing on, print end-to-end traces",
+    )
+    add_stream_common(obs_trace)
+    obs_trace.add_argument(
+        "--sample-rate",
+        type=float,
+        default=0.1,
+        help="fraction of upload groups traced (systematic sampling)",
+    )
+    obs_trace.add_argument("--trace-id", type=int, help="show one trace only")
+    obs_trace.add_argument(
+        "--limit", type=int, default=3, help="trace trees printed"
+    )
+    obs_trace.set_defaults(handler=cmd_obs_trace)
 
     serve = commands.add_parser(
         "serve",

@@ -58,3 +58,8 @@ class StreamError(ReproError):
 
 class ServerError(ReproError):
     """Serving tier misuse (bad middleware result, unknown surface...)."""
+
+
+class ObsError(ReproError):
+    """Observability misuse (metric re-registered with a different shape,
+    bad label set, unknown instrument...)."""

@@ -29,10 +29,13 @@ store until a federated query merges at read time.
 from __future__ import annotations
 
 import dataclasses
+import time as _time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.apisense.hive import Hive, TaskStats
+from repro.obs.instruments import FederationInstruments
 from repro.apisense.tasks import SensingTask
 from repro.errors import PlatformError
 from repro.federation.ring import ConsistentHashRing
@@ -140,6 +143,10 @@ class FederationRouter:
         self.membership_log: list[MembershipEvent] = []
         self.migration_log: list[MigrationEvent] = []
         self.stats = ControlPlaneStats()
+        self.obs = FederationInstruments(
+            obs.metrics_registry(), obs.next_instance("federation")
+        )
+        self._tracer = obs.tracer()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -332,28 +339,40 @@ class FederationRouter:
         return migrations
 
     def _migrate(self, device_id: str, to_name: str, reason: str) -> MigrationEvent:
+        timed = self.obs.registry.enabled
+        started = _time.perf_counter() if timed else 0.0
         from_name = self._placements[device_id]
-        from_hive = self._hives[from_name]
-        to_hive = self._hives[to_name]
-        device = from_hive.unregister_device(device_id)
-        # A *copy* of the user's community state (motivation history)
-        # travels with the first of their devices to arrive; local
-        # history wins, and the two hives must never share the mutable
-        # state (a user's other device may stay behind).
-        state = from_hive.community.get(device.user)
-        if state is not None:
-            to_hive.adopt_user_state(dataclasses.replace(state))
-        to_hive.register_device(device)
-        self._placements[device_id] = to_name
-        event = MigrationEvent(
-            time=self._sim.now,
-            device_id=device_id,
-            user=device.user,
+        with self._tracer.span(
+            "federation.migration",
+            device=device_id,
             from_hive=from_name,
             to_hive=to_name,
             reason=reason,
-        )
-        self.migration_log.append(event)
+        ):
+            from_hive = self._hives[from_name]
+            to_hive = self._hives[to_name]
+            device = from_hive.unregister_device(device_id)
+            # A *copy* of the user's community state (motivation history)
+            # travels with the first of their devices to arrive; local
+            # history wins, and the two hives must never share the mutable
+            # state (a user's other device may stay behind).
+            state = from_hive.community.get(device.user)
+            if state is not None:
+                to_hive.adopt_user_state(dataclasses.replace(state))
+            to_hive.register_device(device)
+            self._placements[device_id] = to_name
+            event = MigrationEvent(
+                time=self._sim.now,
+                device_id=device_id,
+                user=device.user,
+                from_hive=from_name,
+                to_hive=to_name,
+                reason=reason,
+            )
+            self.migration_log.append(event)
+        self.obs.migrations.inc()
+        if timed:
+            self.obs.migration_seconds.observe(_time.perf_counter() - started)
         return event
 
     # ------------------------------------------------------------------
@@ -505,6 +524,7 @@ class FederationRouter:
     def _gossip_membership(self) -> None:
         """Announce the current member set to every live member."""
         members = set(self._hives)
+        self.obs.gossip_rounds.inc()
         for name in self.up_members:
             self.stats.membership_updates += 1
             self._control_send(
@@ -525,6 +545,7 @@ class FederationRouter:
         """
         if self.transport is None:
             self.stats.messages_sent += 1
+            self.obs.messages_sent.inc()
             deliver()
             return
         attempts = 0
@@ -533,11 +554,14 @@ class FederationRouter:
             nonlocal attempts
             attempts += 1
             self.stats.messages_sent += 1
+            self.obs.messages_sent.inc()
             if self.transport.send(self._sim, deliver):
                 return
             self.stats.messages_lost += 1
+            self.obs.messages_lost.inc()
             if attempts <= self.control_max_retries:
                 self.stats.retries += 1
+                self.obs.retries.inc()
                 self._sim.schedule(self.control_retry_delay, attempt)
             else:
                 self.stats.gave_up += 1

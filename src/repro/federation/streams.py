@@ -21,11 +21,14 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import time as _time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Mapping
 
+from repro import obs
 from repro.crypto import FixedPointCodec, MaskedAggregation, MaskingParticipant
 from repro.errors import StreamError
+from repro.obs.instruments import MergerInstruments
 from repro.streams.engine import StreamEngine
 from repro.streams.queries import StreamAlert
 from repro.streams.views import WindowSnapshot, merge_snapshots
@@ -83,6 +86,8 @@ class FederatedStreamMerger:
         if not engines:
             raise StreamError("federated stream merger needs at least one engine")
         self._engines = dict(engines)
+        self.obs = MergerInstruments(obs.metrics_registry(), obs.next_instance("merger"))
+        self._tracer = obs.tracer()
 
     @classmethod
     def from_router(cls, router: "FederationRouter") -> "FederatedStreamMerger":
@@ -159,6 +164,8 @@ class FederatedStreamMerger:
                 raise StreamError(
                     f"no member has closed a window of {task!r}/{view!r} yet"
                 )
+        timed = self.obs.registry.enabled
+        started = _time.perf_counter() if timed else 0.0
         pieces = []
         for engine in self._engines.values():
             if view not in engine.views:
@@ -171,7 +178,14 @@ class FederatedStreamMerger:
             raise StreamError(
                 f"no member retains the {task!r}/{view!r} window ending at {end}"
             )
-        return merge_snapshots(pieces)
+        with self._tracer.span(
+            "federation.merge", task=task, view=view, end=end, members=len(pieces)
+        ):
+            merged = merge_snapshots(pieces)
+        self.obs.merges.inc()
+        if timed:
+            self.obs.merge_seconds.observe(_time.perf_counter() - started)
+        return merged
 
     def history(self, task: str, view: str) -> list[WindowSnapshot]:
         """Every fully-merged retained window, oldest first.

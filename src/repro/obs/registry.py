@@ -1,0 +1,430 @@
+"""The metrics registry: labeled counters, gauges, fixed-bucket histograms.
+
+One process-wide :class:`MetricsRegistry` replaces the per-component
+counter dataclasses as the *observable* surface of the platform: every
+tier registers its instruments here (labeled at least by ``instance``),
+the operator dashboard (:func:`repro.apisense.monitoring.snapshot`)
+reads it, and :meth:`MetricsRegistry.render_prometheus` exposes the
+whole platform in the Prometheus text format — over the serving tier's
+``obs`` surface or the ``python -m repro obs dump`` CLI.
+
+Design constraints, in order:
+
+- **cheap when disabled** — every child instrument checks one registry
+  flag before touching state, so ``configure(metrics=False)`` turns the
+  whole platform's instrumentation into a branch per event;
+- **cheap when enabled** — instrument *children* are resolved once at
+  wiring time (``family.labels(...)``) and held by the instrumented
+  component, so the hot path is an attribute load + int add, never a
+  dict lookup by label values;
+- **sim-clock aware** — the registry can carry the deployment's
+  simulator clock; the exposition then reports ``repro_sim_time_seconds``
+  so scrapes are placeable on the simulated axis, and instruments that
+  measure *simulated* durations share one clock source.
+
+Wall-clock durations (flush timing, scan timing...) use
+``time.perf_counter`` — they measure the reproduction's real hot paths,
+which is what the HPRM-style latency decomposition needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.errors import ObsError
+
+#: Default latency buckets (seconds): 100us .. 10s, roughly log-spaced.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    10.0,
+)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ObsError(f"invalid metric name {name!r}")
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Child:
+    """Base of all per-label-set instruments."""
+
+    __slots__ = ("_registry", "labels")
+
+    def __init__(self, registry: "MetricsRegistry", labels: tuple[tuple[str, str], ...]):
+        self._registry = registry
+        self.labels = labels
+
+
+class Counter(_Child):
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, registry, labels):
+        super().__init__(registry, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ObsError(f"counters only go up; inc({amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Child):
+    """A value that goes up and down — settable or callback-backed."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self, registry, labels):
+        super().__init__(registry, labels)
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        if self._registry.enabled:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._registry.enabled:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Read the gauge from ``fn`` at observation time (live values
+        like queue depths never need explicit ``set`` calls)."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram(_Child):
+    """Fixed-bucket distribution: cumulative counts + sum + count."""
+
+    __slots__ = ("buckets", "bucket_counts", "_sum", "_count")
+
+    def __init__(self, registry, labels, buckets: Sequence[float]):
+        super().__init__(registry, labels)
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +inf tail
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (exact data is gone).
+
+        Returns the upper edge of the bucket holding the q-th
+        observation, linearly interpolated inside it; observations past
+        the last finite bucket report that bucket's edge.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1]: {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        seen = 0.0
+        lower = 0.0
+        for edge, in_bucket in zip(self.buckets, self.bucket_counts):
+            if seen + in_bucket >= rank and in_bucket:
+                fraction = (rank - seen) / in_bucket
+                return lower + (edge - lower) * min(1.0, max(0.0, fraction))
+            seen += in_bucket
+            lower = edge
+        return self.buckets[-1] if self.buckets else lower
+
+
+class _Family:
+    """One registered metric: a name, a kind, and its labeled children."""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ):
+        self._registry = registry
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._children: dict[tuple[tuple[str, str], ...], _Child] = {}
+
+    def labels(self, **labels: str) -> Counter | Gauge | Histogram:
+        """The child instrument for one label set (created on first use)."""
+        if set(labels) != set(self.labelnames):
+            raise ObsError(
+                f"{self.name} takes labels {self.labelnames}, got {tuple(labels)}"
+            )
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "counter":
+                child = Counter(self._registry, key)
+            elif self.kind == "gauge":
+                child = Gauge(self._registry, key)
+            else:
+                assert self.buckets is not None
+                child = Histogram(self._registry, key, self.buckets)
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterator[tuple[tuple[tuple[str, str], ...], _Child]]:
+        yield from sorted(self._children.items())
+
+
+class StageTiming:
+    """One row of the hot-path table (``obs top``)."""
+
+    __slots__ = ("stage", "count", "total_seconds", "p50", "p99")
+
+    def __init__(self, stage: str, count: int, total: float, p50: float, p99: float):
+        self.stage = stage
+        self.count = count
+        self.total_seconds = total
+        self.p50 = p50
+        self.p99 = p99
+
+    @property
+    def mean(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_text(self) -> str:
+        return (
+            f"{self.stage:<44} {self.count:>9} calls  "
+            f"total {self.total_seconds * 1e3:>9.1f}ms  "
+            f"mean {self.mean * 1e6:>8.1f}us  "
+            f"p50 {self.p50 * 1e6:>8.1f}us  p99 {self.p99 * 1e6:>9.1f}us"
+        )
+
+
+class MetricsRegistry:
+    """Process-wide instrument registry with a text exposition."""
+
+    def __init__(self, enabled: bool = True, clock: Callable[[], float] | None = None):
+        self.enabled = enabled
+        self._clock = clock
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> _Family:
+        assert kind in _KINDS
+        _validate_name(name)
+        names = tuple(labelnames)
+        existing = self._families.get(name)
+        if existing is not None:
+            # Idempotent on purpose: every component instance wires the
+            # same families; only a *shape* change is a bug.
+            if existing.kind != kind or set(existing.labelnames) != set(names):
+                raise ObsError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                    f"{existing.labelnames}; cannot re-register as {kind}{names}"
+                )
+            return existing
+        family = _Family(
+            self,
+            name,
+            kind,
+            help,
+            names,
+            tuple(buckets) if buckets is not None else None,
+        )
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> _Family:
+        return self._register(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> _Family:
+        return self._register(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> _Family:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ObsError(f"histogram buckets must be sorted and non-empty: {buckets}")
+        return self._register(name, "histogram", help, labelnames, buckets)
+
+    def set_clock(self, clock: Callable[[], float] | None) -> None:
+        """Bind the deployment's simulator clock (sim-time exposition)."""
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    @property
+    def families(self) -> list[str]:
+        return sorted(self._families)
+
+    def family(self, name: str) -> _Family:
+        if name not in self._families:
+            raise ObsError(f"unknown metric {name!r}")
+        return self._families[name]
+
+    def value(self, name: str, labels: Mapping[str, str] | None = None) -> float:
+        """One counter/gauge child's value; 0.0 when the child never fired."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        key = _label_key(labels or {})
+        child = family._children.get(key)
+        if child is None:
+            return 0.0
+        if isinstance(child, Histogram):
+            return float(child.count)
+        return child.value
+
+    def total(self, name: str, **match: str) -> float:
+        """Sum of a family's children whose labels include ``match``."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        want = set(_label_key(match))
+        total = 0.0
+        for key, child in family._children.items():
+            if want <= set(key):
+                total += child.count if isinstance(child, Histogram) else child.value
+        return total
+
+    def stage_timings(self) -> list[StageTiming]:
+        """Every ``*_seconds`` histogram child as a hot-path row, hottest
+        (largest total time) first — the ``obs top`` table."""
+        rows = []
+        for name in self.families:
+            family = self._families[name]
+            if family.kind != "histogram" or not name.endswith("_seconds"):
+                continue
+            for key, child in family.children():
+                assert isinstance(child, Histogram)
+                if not child.count:
+                    continue
+                rows.append(
+                    StageTiming(
+                        stage=name + _render_labels(key),
+                        count=child.count,
+                        total=child.sum,
+                        p50=child.quantile(0.50),
+                        p99=child.quantile(0.99),
+                    )
+                )
+        rows.sort(key=lambda r: r.total_seconds, reverse=True)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The whole registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        if self._clock is not None:
+            lines.append("# TYPE repro_sim_time_seconds gauge")
+            lines.append(f"repro_sim_time_seconds {_format(self._clock())}")
+        for name in self.families:
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, child in family.children():
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for edge, in_bucket in zip(child.buckets, child.bucket_counts):
+                        cumulative += in_bucket
+                        le = 'le="%s"' % _format(edge)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(key, le)} {cumulative}"
+                        )
+                    cumulative += child.bucket_counts[-1]
+                    inf = 'le="+Inf"'
+                    lines.append(
+                        f"{name}_bucket{_render_labels(key, inf)} {cumulative}"
+                    )
+                    lines.append(f"{name}_sum{_render_labels(key)} {_format(child.sum)}")
+                    lines.append(f"{name}_count{_render_labels(key)} {child.count}")
+                else:
+                    lines.append(f"{name}{_render_labels(key)} {_format(child.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _format(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

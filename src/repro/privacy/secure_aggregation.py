@@ -36,9 +36,12 @@ from __future__ import annotations
 
 import math
 import random
+import time as _time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
+from repro import obs as _obs
+from repro.obs.instruments import SecureAggInstruments
 from repro.crypto import (
     DeviceContributor,
     FixedPointCodec,
@@ -238,6 +241,10 @@ class SecureAggregationSession:
         self.threshold: int | None = None
         self._setup_done = False
         self._ran = False
+        self.obs = SecureAggInstruments(
+            _obs.metrics_registry(), _obs.next_instance("secure_agg")
+        )
+        self._tracer = _obs.tracer()
 
     # ------------------------------------------------------------------
     # Enrolment-time work
@@ -247,6 +254,12 @@ class SecureAggregationSession:
         """Key generation and mask dealing; idempotent via :meth:`run`."""
         if self._setup_done:
             raise ProtocolError("session already set up")
+        timed = self.obs.registry.enabled
+        started = _time.perf_counter() if timed else 0.0
+        self._setup_phases(timed, started)
+        return self
+
+    def _setup_phases(self, timed: bool, started: float) -> None:
         if self.paillier_cohort:
             self._coordinator = QueryCoordinator(self.policy.key_bits, rng=self._rng)
             self._queries = [
@@ -268,7 +281,8 @@ class SecureAggregationSession:
             else:
                 self._group_seed = self._rng.getrandbits(128).to_bytes(16, "big")
         self._setup_done = True
-        return self
+        if timed:
+            self.obs.phase_seconds("setup").observe(_time.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # Collection round
@@ -311,12 +325,32 @@ class SecureAggregationSession:
         dropped = sorted(pid for pid in self.profiles if self._is_down(pid, down))
         down_set = set(dropped)
         sums = [0.0] * width
+        timed = self.obs.registry.enabled
+        self.obs.dropouts.inc(len(dropped))
 
         live_paillier = [p for p in self.paillier_cohort if p not in down_set]
         if live_paillier:
-            self._run_paillier(contributions, live_paillier, sums)
+            started = _time.perf_counter() if timed else 0.0
+            with self._tracer.span(
+                "secure_agg.paillier", task=self.task, cohort=len(live_paillier)
+            ):
+                self._run_paillier(contributions, live_paillier, sums)
+            if timed:
+                self.obs.phase_seconds("paillier").observe(
+                    _time.perf_counter() - started
+                )
+            self.obs.round_done("paillier")
         if self.masking_cohort:
-            self._run_masking(contributions, down_set, sums)
+            started = _time.perf_counter() if timed else 0.0
+            with self._tracer.span(
+                "secure_agg.masking", task=self.task, cohort=len(self.masking_cohort)
+            ):
+                self._run_masking(contributions, down_set, sums)
+            if timed:
+                self.obs.phase_seconds("masking").observe(
+                    _time.perf_counter() - started
+                )
+            self.obs.round_done("masking")
 
         return SecureAggregate(
             task=self.task,

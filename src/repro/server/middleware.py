@@ -35,10 +35,12 @@ token bucket over the server clock), and :class:`MetricsMiddleware`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Mapping, Sequence, TYPE_CHECKING
 
+from repro import obs
 from repro.errors import ServerError
+from repro.obs.instruments import MiddlewareInstruments
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.server.sessions import Session
@@ -319,16 +321,50 @@ class RateLimitMiddleware(ServerMiddleware):
         return await next()
 
 
-@dataclass
 class MiddlewareCounters:
-    """What :class:`MetricsMiddleware` observed going past it."""
+    """Registry-backed view of what :class:`MetricsMiddleware` observed.
 
-    connects: int = 0
-    requests: int = 0
-    channel_messages: int = 0
-    denied: int = 0
-    redirected: int = 0
-    by_surface: dict[str, int] = field(default_factory=dict)
+    Historically a bag of plain ints private to the middleware; the
+    counts now live on the shared
+    :class:`~repro.obs.registry.MetricsRegistry` (so they appear in the
+    platform exposition and the health report), and this view reads
+    them back, preserving the ``metrics.counters.requests`` API.
+    """
+
+    def __init__(self, instruments: "MiddlewareInstruments"):
+        self._obs = instruments
+
+    @property
+    def connects(self) -> int:
+        return int(self._obs.connects.value)
+
+    @property
+    def channel_messages(self) -> int:
+        return int(self._obs.channel_messages.value)
+
+    @property
+    def denied(self) -> int:
+        return int(self._obs.denied.value)
+
+    @property
+    def redirected(self) -> int:
+        return int(self._obs.redirected.value)
+
+    @property
+    def requests(self) -> int:
+        return sum(self.by_surface.values())
+
+    @property
+    def by_surface(self) -> dict[str, int]:
+        """Requests per surface (surfaces never seen are absent)."""
+        family = self._obs.registry.family("repro_middleware_requests_total")
+        out: dict[str, int] = {}
+        for key, child in family.children():
+            labels = dict(key)
+            if labels.get("instance") != self._obs.instance or not child.value:
+                continue
+            out[labels["surface"]] = int(child.value)
+        return out
 
 
 class MetricsMiddleware(ServerMiddleware):
@@ -341,7 +377,10 @@ class MetricsMiddleware(ServerMiddleware):
     """
 
     def __init__(self, log_capacity: int = 256):
-        self.counters = MiddlewareCounters()
+        self.obs = MiddlewareInstruments(
+            obs.metrics_registry(), obs.next_instance("middleware")
+        )
+        self.counters = MiddlewareCounters(self.obs)
         self.log: list[str] = []
         self._log_capacity = log_capacity
 
@@ -352,27 +391,25 @@ class MetricsMiddleware(ServerMiddleware):
 
     def _observe(self, result: ChainResult, what: str) -> ChainResult:
         if isinstance(result, Deny):
-            self.counters.denied += 1
+            self.obs.denied.inc()
             self._note(f"DENY {what}: {result.reason}")
         elif isinstance(result, Redirect):
-            self.counters.redirected += 1
+            self.obs.redirected.inc()
             self._note(f"REDIRECT {what} -> {result.target}")
         else:
             self._note(f"OK {what}")
         return result
 
     async def connect(self, *, request, session, next):
-        self.counters.connects += 1
+        self.obs.connects.inc()
         return self._observe(await next(), f"connect from {request.remote}")
 
     async def request(self, *, request, session, next):
-        self.counters.requests += 1
-        surface = self.counters.by_surface
-        surface[request.surface] = surface.get(request.surface, 0) + 1
+        self.obs.request(request.surface).inc()
         return self._observe(
             await next(), f"{request.surface}/{request.action}"
         )
 
     async def channel_message(self, *, message, session, next):
-        self.counters.channel_messages += 1
+        self.obs.channel_messages.inc()
         return self._observe(await next(), f"channel/{message.action}")

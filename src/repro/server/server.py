@@ -39,7 +39,9 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro import obs as _obs
 from repro.errors import ReproError, ServerError
+from repro.obs.instruments import ServerInstruments
 from repro.server.middleware import (
     ChannelMessage,
     ChainResult,
@@ -75,7 +77,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation import Simulator
 
 #: The request surfaces the middleware chain's ``request`` hook gates.
-SURFACES = ("ingest", "query")
+#: ``obs`` is the observability surface: registry exposition, hot-path
+#: table, trace browsing (read-only; auth scopes gate it like any other).
+SURFACES = ("ingest", "query", "obs")
 
 
 @dataclass
@@ -90,6 +94,7 @@ class ServerStats:
     redirects: int = 0
     requests_ingest: int = 0
     requests_query: int = 0
+    requests_obs: int = 0
     channel_messages: int = 0
     subscriptions_total: int = 0
     pushes_enqueued: int = 0
@@ -174,6 +179,13 @@ class ReproServer:
         self.chain = MiddlewareChain(middlewares)
         self.queue_capacity = queue_capacity
         self.stats = ServerStats()
+        self.obs = ServerInstruments(
+            _obs.metrics_registry(), _obs.next_instance("server")
+        )
+        # Live levels: read the server's own properties at scrape time.
+        self.obs.sessions.set_function(lambda: self.sessions_active)
+        self.obs.subscriptions.set_function(lambda: self.subscriptions_active)
+        self._tracer = _obs.tracer()
         self._sessions: dict[int, Session] = {}
         #: Federated dedup: newest merged window end pushed per (task, view).
         self._merged_done: dict[tuple[str, str], float] = {}
@@ -211,6 +223,11 @@ class ReproServer:
         return self._retired_pushes_dropped + sum(
             s.pushes_dropped for s in self._sessions.values()
         )
+
+    @property
+    def pushes_queued(self) -> int:
+        """Pushes enqueued toward live sessions but not yet pumped."""
+        return sum(s.pushes_queued for s in self._sessions.values())
 
     def metrics(self) -> ServerMetrics:
         """The serving-tier reading ``monitoring.snapshot`` surfaces."""
@@ -255,7 +272,10 @@ class ReproServer:
         """One connection's full lifecycle: handshake, loop, teardown."""
         self.stats.connections += 1
         session = Session(
-            endpoint, clock=self.clock, queue_capacity=self.queue_capacity
+            endpoint,
+            clock=self.clock,
+            queue_capacity=self.queue_capacity,
+            instruments=self.obs,
         )
         try:
             if not await self._handshake(session, endpoint):
@@ -294,6 +314,7 @@ class ReproServer:
         )
         if isinstance(result, Deny):
             self.stats.denials_connect += 1
+            self.obs.denial("connect").inc()
             await endpoint.send({"type": "deny", "reason": result.reason})
             return False
         if isinstance(result, Redirect):
@@ -351,9 +372,14 @@ class ReproServer:
             if request.surface == "ingest":
                 self.stats.requests_ingest += 1
                 return Ok(self._handle_ingest(session, request))
+            if request.surface == "obs":
+                self.stats.requests_obs += 1
+                return Ok(self._handle_obs(request))
             self.stats.requests_query += 1
             return Ok(self._handle_query(request))
 
+        timed = self.obs.registry.enabled
+        started = time.perf_counter() if timed else 0.0
         try:
             result = await self.chain.run(
                 "request", session, terminal, request=request
@@ -362,8 +388,15 @@ class ReproServer:
             reply.update(status="error", error=str(error))
             await endpoint.send(reply)
             return
+        finally:
+            self.obs.request(request.surface).inc()
+            if timed:
+                self.obs.request_seconds(request.surface).observe(
+                    time.perf_counter() - started
+                )
         if isinstance(result, Deny):
             self.stats.denials_request += 1
+            self.obs.denial("request").inc()
             reply.update(status="deny", reason=result.reason)
         elif isinstance(result, Redirect):
             self.stats.redirects += 1
@@ -459,6 +492,62 @@ class ReproServer:
             )
         raise ServerError(f"unknown query action {request.action!r}")
 
+    def _handle_obs(self, request: ServerRequest) -> Message:
+        """Observability surface: registry dump / hot paths / traces.
+
+        Read-only by construction — it reports on the process-wide
+        registry and trace log, never mutates them — so middlewares can
+        expose it to low-privilege dashboards safely.
+        """
+        payload = request.payload
+        if request.action == "dump":
+            return {"format": "prometheus", "text": _obs.render_prometheus()}
+        if request.action == "top":
+            limit = int(payload.get("limit", 10))
+            timings = _obs.hot_paths()[:limit]
+            return {
+                "stages": [
+                    {
+                        "stage": t.stage,
+                        "count": t.count,
+                        "total_seconds": t.total_seconds,
+                        "p50": t.p50,
+                        "p99": t.p99,
+                    }
+                    for t in timings
+                ]
+            }
+        if request.action == "trace":
+            log = _obs.tracer().log
+            trace_id = payload.get("trace_id")
+            if trace_id is None:
+                return {
+                    "trace_ids": log.trace_ids(),
+                    "spans": log.total,
+                    "dropped": log.dropped,
+                }
+            from repro.obs.tracing import trace_tree
+
+            rows = trace_tree(log, int(trace_id))
+            return {
+                "trace_id": int(trace_id),
+                "spans": [
+                    {
+                        "depth": depth,
+                        "name": span.name,
+                        "duration": span.duration,
+                        "sim_time": span.sim_time,
+                        "attrs": {
+                            k: v
+                            for k, v in span.attrs.items()
+                            if k != "records"
+                        },
+                    }
+                    for depth, span in rows
+                ],
+            }
+        raise ServerError(f"unknown obs action {request.action!r}")
+
     # ------------------------------------------------------------------
     # Channel surface (streaming dashboard)
     # ------------------------------------------------------------------
@@ -486,6 +575,7 @@ class ReproServer:
             return
         if isinstance(result, Deny):
             self.stats.denials_channel += 1
+            self.obs.denial("channel").inc()
             reply.update(status="deny", reason=result.reason)
         elif isinstance(result, Redirect):
             self.stats.redirects += 1
@@ -595,13 +685,27 @@ class ReproServer:
         self._fan_alerts(member, self._engines[member])
 
     def _fan_out(self, snapshot: WindowSnapshot) -> None:
-        for session in self._sessions.values():
-            for subscription in session.subscriptions.values():
-                if not subscription.matches(snapshot.task, snapshot.view):
-                    continue
-                if not subscription.should_push(snapshot.task, snapshot.end):
-                    continue
-                self._push_snapshot(session, subscription, snapshot)
+        timed = self.obs.registry.enabled
+        started = time.perf_counter() if timed else 0.0
+        with self._tracer.span(
+            "server.push",
+            task=snapshot.task,
+            view=snapshot.view,
+            start=snapshot.start,
+            end=snapshot.end,
+        ) as handle:
+            fanned = 0
+            for session in self._sessions.values():
+                for subscription in session.subscriptions.values():
+                    if not subscription.matches(snapshot.task, snapshot.view):
+                        continue
+                    if not subscription.should_push(snapshot.task, snapshot.end):
+                        continue
+                    self._push_snapshot(session, subscription, snapshot)
+                    fanned += 1
+            handle.set(subscribers=fanned)
+        if timed:
+            self.obs.push_seconds.observe(time.perf_counter() - started)
 
     def _fan_out_merged(self, task: str, view: str) -> None:
         """Push federation-merged windows once every member closed them."""

@@ -22,10 +22,13 @@ import asyncio
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import ServerError
 from repro.server.transport import Endpoint, Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instruments import ServerInstruments
 
 _session_ids = itertools.count(1)
 _subscription_ids = itertools.count(1)
@@ -87,6 +90,12 @@ class PushQueue:
         self._ready.set()
         return dropped
 
+    def clear(self) -> list[Message]:
+        """Drop and return everything still queued (session teardown)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
     async def get(self) -> Message:
         while not self._items:
             self._ready.clear()
@@ -102,10 +111,14 @@ class Session:
         endpoint: Endpoint,
         clock: Callable[[], float],
         queue_capacity: int = 256,
+        instruments: "ServerInstruments | None" = None,
     ):
         self.session_id = next(_session_ids)
         self.endpoint = endpoint
         self._clock = clock
+        #: The owning server's registry instruments; push accounting is
+        #: mirrored there so the dashboard reads one source of truth.
+        self._instruments = instruments
         #: Middleware-visible mutable state, private to this connection.
         self.state: dict[str, Any] = {}
         self.subscriptions: dict[int, Subscription] = {}
@@ -119,6 +132,11 @@ class Session:
     def now(self) -> float:
         """The server clock (the deployment's simulated time)."""
         return self._clock()
+
+    @property
+    def pushes_queued(self) -> int:
+        """Pushes enqueued but not yet pumped to the transport."""
+        return len(self.queue)
 
     # ------------------------------------------------------------------
     # Subscriptions
@@ -158,8 +176,12 @@ class Session:
         if self.closed:
             return False
         evicted = self.queue.put(message)
+        if self._instruments is not None:
+            self._instruments.pushes_enqueued.inc()
         if evicted is not None:
             self.pushes_dropped += 1
+            if self._instruments is not None:
+                self._instruments.pushes_dropped.inc()
             victim_id = evicted.get("subscription")
             victim = self.subscriptions.get(victim_id) if victim_id else None
             if victim is not None:
@@ -180,8 +202,16 @@ class Session:
             try:
                 await self.endpoint.send(message)
             except ServerError:
-                return  # endpoint closed under us; session teardown follows
+                # Endpoint closed under us; the dequeued push never
+                # reached a transport — count it dropped so the push
+                # accounting (enqueued = sent + dropped + queued) holds.
+                self.pushes_dropped += 1
+                if self._instruments is not None:
+                    self._instruments.pushes_dropped.inc()
+                return
             self.pushes_sent += 1
+            if self._instruments is not None:
+                self._instruments.pushes_sent.inc()
 
     async def close(self) -> None:
         """Tear the session down: stop the sender, drop subscriptions."""
@@ -190,11 +220,24 @@ class Session:
         self.closed = True
         self.subscriptions.clear()
         if self._sender is not None:
-            self.queue.put({"type": "_close"})
+            # The sentinel bypasses push() (it must reach a closed
+            # session's pump), so an eviction here is counted by hand.
+            evicted = self.queue.put({"type": "_close"})
+            if evicted is not None and evicted.get("type") != "_close":
+                self.pushes_dropped += 1
+                if self._instruments is not None:
+                    self._instruments.pushes_dropped.inc()
             try:
                 await asyncio.wait_for(self._sender, timeout=1.0)
             except (asyncio.TimeoutError, asyncio.CancelledError):
                 self._sender.cancel()
+        # Whatever is still queued never reached a transport: count it
+        # dropped so enqueued = sent + dropped + queued stays exact.
+        for message in self.queue.clear():
+            if message.get("type") != "_close":
+                self.pushes_dropped += 1
+                if self._instruments is not None:
+                    self._instruments.pushes_dropped.inc()
         self.endpoint.close()
 
     async def drain(self) -> None:

@@ -17,13 +17,17 @@ partition's sealed segments into one time-sorted run.
 
 from __future__ import annotations
 
+import time as _time
 import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import StoreError
+from repro.obs.instruments import StoreInstruments
+from repro.obs.tracing import traced_keys as _traced_keys
 from repro.geo.point import GeoPoint
 from repro.store.aggregates import StoreAggregates, TaskAggregate
 from repro.store.segment import Segment, SegmentBuilder, merge_segments
@@ -203,6 +207,8 @@ class DatasetStore:
         self._user_ids: dict[str, int] = {}
         self._user_table: list[str] = []
         self.aggregates = StoreAggregates(cell_deg=coverage_cell_deg)
+        self.obs = StoreInstruments(obs.metrics_registry(), obs.next_instance("store"))
+        self._tracer = obs.tracer()
 
     # ------------------------------------------------------------------
     # Routing / identity
@@ -249,20 +255,28 @@ class DatasetStore:
         """
         if not records:
             return 0
-        # Group into (shard, task) runs first so each partition receives
-        # one contiguous column batch.
-        groups: dict[tuple[int, str], list[SensorRecord]] = {}
-        for record in records:
-            key = (self.shard_of(record.task, record.user), record.task)
-            groups.setdefault(key, []).append(record)
+        timed = self.obs.registry.enabled
+        started = _time.perf_counter() if timed else 0.0
+        with self._tracer.span("store.append", batch=len(records)) as span:
+            if span.span is not None:
+                span.add_records(_traced_keys(records))
+            # Group into (shard, task) runs first so each partition
+            # receives one contiguous column batch.
+            groups: dict[tuple[int, str], list[SensorRecord]] = {}
+            for record in records:
+                key = (self.shard_of(record.task, record.user), record.task)
+                groups.setdefault(key, []).append(record)
 
-        for (shard_id, task), group in groups.items():
-            columns = self._columnize(group)
-            shard = self._shards[shard_id]
-            shard.partition(task).append_columns(*columns)
-            shard.records += len(group)
-            time, lat, lon, _value, user_id = columns
-            self.aggregates.update(task, time, lat, lon, user_id, ingest_time)
+            for (shard_id, task), group in groups.items():
+                columns = self._columnize(group)
+                shard = self._shards[shard_id]
+                shard.partition(task).append_columns(*columns)
+                shard.records += len(group)
+                time, lat, lon, _value, user_id = columns
+                self.aggregates.update(task, time, lat, lon, user_id, ingest_time)
+        if timed:
+            self.obs.append_seconds.observe(_time.perf_counter() - started)
+            self.obs.records_appended.inc(len(records))
         return len(records)
 
     def _columnize(
@@ -315,6 +329,23 @@ class DatasetStore:
         with a GPS fix; ``user`` narrows the scan to the single shard
         owning that (task, user) pair.
         """
+        timed = self.obs.registry.enabled
+        started = _time.perf_counter() if timed else 0.0
+        try:
+            return self._scan(task, t0, t1, bbox, user)
+        finally:
+            if timed:
+                self.obs.scans.inc()
+                self.obs.scan_seconds.observe(_time.perf_counter() - started)
+
+    def _scan(
+        self,
+        task: str,
+        t0: float | None = None,
+        t1: float | None = None,
+        bbox: "object | tuple[float, float, float, float] | None" = None,
+        user: str | None = None,
+    ) -> ColumnarBatch:
         box = self._unpack_bbox(bbox)
         if user is not None:
             shards: Iterable[_Shard] = (self._shards[self.shard_of(task, user)],)
@@ -412,6 +443,8 @@ class DatasetStore:
 
     def compact(self, task: str | None = None) -> CompactionReport:
         """Merge sealed segments per partition into one time-sorted run."""
+        timed = self.obs.registry.enabled
+        started = _time.perf_counter() if timed else 0.0
         before = after = compacted = records = 0
         for shard in self._shards:
             for name, partition in shard.partitions.items():
@@ -423,6 +456,9 @@ class DatasetStore:
                 records += partition.records
                 if b > a:
                     compacted += 1
+        if timed:
+            self.obs.compactions.inc()
+            self.obs.compact_seconds.observe(_time.perf_counter() - started)
         return CompactionReport(
             segments_before=before,
             segments_after=after,

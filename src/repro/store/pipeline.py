@@ -28,11 +28,15 @@ Honeycomb routing above all — receives the flushed records.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro import obs
 from repro.errors import StoreError
+from repro.obs.instruments import PipelineInstruments
+from repro.obs.tracing import traced_keys as _traced_keys
 from repro.simulation import Simulator
 from repro.store.dataset_store import DatasetStore
 
@@ -131,6 +135,13 @@ class IngestPipeline:
         self._router: FlushListener | None = None
         self._listeners: list[FlushListener] = []
         self.stats = PipelineStats()
+        #: Registry instruments mirroring :attr:`stats` (same counters,
+        #: shared exposition) plus the flush-timing histogram the object
+        #: counters cannot express.
+        self.obs = PipelineInstruments(
+            obs.metrics_registry(), obs.next_instance("pipeline")
+        )
+        self._tracer = obs.tracer()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -195,6 +206,7 @@ class IngestPipeline:
         if not records:
             return 0
         self.stats.submitted += len(records)
+        self.obs.submitted.inc(len(records))
         by_shard: dict[int, list[SensorRecord]] = {}
         for record in records:
             shard_id = self.store.shard_of(record.task, record.user)
@@ -203,6 +215,7 @@ class IngestPipeline:
         for shard_id, batch in by_shard.items():
             accepted += self._enqueue(shard_id, batch)
         self.stats.accepted += accepted
+        self.obs.accepted.inc(accepted)
         return accepted
 
     def _enqueue(self, shard_id: int, batch: list[SensorRecord]) -> int:
@@ -215,6 +228,7 @@ class IngestPipeline:
         elif self.policy == "reject":
             # Admission control: all-or-nothing, the whole batch bounces.
             self.stats.rejected += len(batch)
+            self.obs.rejected.inc(len(batch))
             return 0
         elif self.policy == "drop-oldest":
             # The policy admits the whole batch and evicts the oldest
@@ -225,7 +239,9 @@ class IngestPipeline:
             # one-per-record: accepted = flushed + dropped + in flight.
             keep = batch
             if len(batch) >= self.buffer_capacity:
-                self.stats.dropped += len(shard.buffer) + len(batch) - self.buffer_capacity
+                evicted = len(shard.buffer) + len(batch) - self.buffer_capacity
+                self.stats.dropped += evicted
+                self.obs.dropped.inc(evicted)
                 shard.buffer.clear()
                 keep = batch[-self.buffer_capacity :]
             else:
@@ -233,6 +249,7 @@ class IngestPipeline:
                 for _ in range(overflow):
                     shard.buffer.popleft()
                 self.stats.dropped += overflow
+                self.obs.dropped.inc(overflow)
             shard.buffer.extend(keep)
             accepted = len(batch)
         else:  # spill
@@ -240,6 +257,7 @@ class IngestPipeline:
             shard.buffer.extend(head)
             shard.spill.extend(tail)
             self.stats.spilled += len(tail)
+            self.obs.spilled.inc(len(tail))
             accepted = len(batch)
         if accepted and not shard.pending:
             shard.pending = True
@@ -268,11 +286,20 @@ class IngestPipeline:
         self.stats.flushes += 1
         self.stats.flushed_records += len(batch)
         self.stats.largest_flush = max(self.stats.largest_flush, len(batch))
-        self.store.append(batch, ingest_time=self._sim.now)
-        if self._router is not None:
-            self._router(batch)
-        for listener in self._listeners:
-            listener(batch)
+        self.obs.flushes.inc()
+        self.obs.flushed.inc(len(batch))
+        timed = self.obs.registry.enabled
+        started = time.perf_counter() if timed else 0.0
+        with self._tracer.span("ingest.flush", shard=shard_id, batch=len(batch)) as span:
+            if span.span is not None:
+                span.add_records(_traced_keys(batch))
+            self.store.append(batch, ingest_time=self._sim.now)
+            if self._router is not None:
+                self._router(batch)
+            for listener in self._listeners:
+                listener(batch)
+        if timed:
+            self.obs.flush_seconds.observe(time.perf_counter() - started)
 
     def flush_all(self) -> int:
         """Synchronously drain every buffer and spill queue.

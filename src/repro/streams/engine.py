@@ -29,10 +29,13 @@ as late and excluded from views).
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro import obs
 from repro.errors import StreamError
+from repro.obs.instruments import StreamInstruments
 from repro.geo.grid import SpatialGrid
 from repro.geo.point import GeoPoint
 from repro.streams.queries import AlertLog, ContinuousQuery, StreamAlert
@@ -99,6 +102,13 @@ class StreamEngine:
         self.alerts = AlertLog(capacity=alert_capacity)
         self.stats = StreamStats()
         self._last_window_rate = 0.0
+        self.obs = StreamInstruments(obs.metrics_registry(), obs.next_instance("stream"))
+        self._tracer = obs.tracer()
+        #: Trace lineage parked per (task, pane): ``{trace_id: [times]}``
+        #: of the traced records folded into each open pane, attached to
+        #: the ``stream.window`` span when the pane's windows close and
+        #: dropped with the pane at the stale horizon.
+        self._traced_panes: dict[tuple[str, int], dict[int, list[float]]] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -200,17 +210,20 @@ class StreamEngine:
     def on_flush(self, records: "list[SensorRecord]") -> None:
         """Absorb one flushed batch into the open panes — O(batch)."""
         self.stats.records_seen += len(records)
+        self.obs.records_seen.inc(len(records))
         if not self._views:
             return  # nothing materialized; stay free for idle deployments
         pane = self.pane_seconds
         closed_edge = self._closed_pane * pane
         max_seen = self._max_event_time
+        tracing = self._tracer.enabled
         for record in records:
             t = record.time
             if t > max_seen:
                 max_seen = t
             if t < closed_edge:
                 self.stats.late_records += 1
+                self.obs.late_records.inc()
                 continue
             self._tasks.add(record.task)
             index = int(t // pane)
@@ -240,6 +253,9 @@ class StreamEngine:
             if self._sim is not None:
                 lag = max(0.0, self._sim.now - t)
             stats.update(record.user, cell, value, lag)
+            if tracing and record.trace_id is not None:
+                pane_traces = self._traced_panes.setdefault((record.task, index), {})
+                pane_traces.setdefault(record.trace_id, []).append(t)
         self._max_event_time = max_seen
         self._close_ready_panes()
 
@@ -300,10 +316,11 @@ class StreamEngine:
                     self._emit_windows(view_name, spec, boundary)
             # Drop panes no future window can include.
             horizon = boundary + self.pane_seconds - max_size
-            for panes in self._panes.values():
+            for task, panes in self._panes.items():
                 stale = [i for i, p in panes.items() if p.end <= horizon]
                 for i in stale:
                     del panes[i]
+                    self._traced_panes.pop((task, i), None)
         self._closed_pane = pane_index
 
     def _emit_windows(self, view_name: str, spec: WindowSpec, boundary: float) -> None:
@@ -312,21 +329,51 @@ class StreamEngine:
         last_pane = int(round(end / self.pane_seconds))
         primary = next(iter(self._views))
         total_records = 0
+        timed = self.obs.registry.enabled
+        started = _time.perf_counter() if timed else 0.0
         for task in sorted(self._tasks):
             panes = self._panes.get(task, {})
             span = [panes[i] for i in range(first_pane, last_pane) if i in panes]
             snapshot = snapshot_from_panes(task, view_name, start, end, span)
+            if self._tracer.enabled:
+                self._trace_window(task, view_name, start, end, first_pane, last_pane)
             history = self._history.setdefault((task, view_name), [])
             self._evaluate_queries(view_name, snapshot, history)
             history.append(snapshot)
             if len(history) > self.history:
                 del history[0]
             self.stats.windows_emitted += 1
+            self.obs.windows_closed.inc()
             total_records += snapshot.records
             for callback in self._window_callbacks:
                 callback(snapshot)
+        if timed:
+            self.obs.window_close_seconds.observe(_time.perf_counter() - started)
         if view_name == primary and self._tasks:
             self._last_window_rate = total_records / spec.size
+
+    def _trace_window(
+        self,
+        task: str,
+        view_name: str,
+        start: float,
+        end: float,
+        first_pane: int,
+        last_pane: int,
+    ) -> None:
+        """Emit one ``stream.window`` span carrying the closing window's
+        traced-record lineage (a sliding view legitimately claims the
+        same record in ``size/slide`` consecutive windows)."""
+        lineage: dict[int, list[float]] = {}
+        for index in range(first_pane, last_pane):
+            for tid, times in self._traced_panes.get((task, index), {}).items():
+                lineage.setdefault(tid, []).extend(times)
+        if not lineage:
+            return
+        with self._tracer.span(
+            "stream.window", task=task, view=view_name, start=start, end=end
+        ) as handle:
+            handle.add_records(lineage)
 
     def _evaluate_queries(
         self,
@@ -342,6 +389,7 @@ class StreamEngine:
             if message is None:
                 continue
             self.stats.alerts_fired += 1
+            self.obs.alerts.inc()
             self.alerts.append(
                 StreamAlert(
                     time=self._sim.now if self._sim is not None else snapshot.end,

@@ -1,0 +1,134 @@
+"""Registry-driven health-report reconciliation invariants.
+
+The dashboard reads the shared registry; these tests pin the accounting
+identities that keep it honest — per record, ``accepted = stored +
+dropped + buffered + backlog``; per push, ``enqueued = sent + dropped +
+queued`` — so future instrumentation can't desync the report from the
+platform without a test going red.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.apisense.device import SensorRecord
+from repro.apisense.hive import Hive
+from repro.apisense.honeycomb import Honeycomb
+from repro.apisense.monitoring import snapshot
+from repro.apisense.tasks import SensingTask
+from repro.simulation import Simulator
+from repro.store import DatasetStore, IngestPipeline
+
+TASK = "recon"
+
+
+def make_hive(sim: Simulator, policy: str = "spill", buffer_capacity: int = 4096) -> Hive:
+    store = DatasetStore(n_shards=2)
+    pipeline = IngestPipeline(
+        sim, store, policy=policy, buffer_capacity=buffer_capacity, flush_delay=0.2
+    )
+    hive = Hive(sim, store=store, pipeline=pipeline)
+    owner = Honeycomb("recon-tests", hive)
+    task = SensingTask(
+        name=TASK,
+        sensors=("gps", "battery"),
+        sampling_period=60.0,
+        upload_period=300.0,
+        end=86400.0,
+    )
+    owner.register_task(task)
+    hive.adopt_task(task, owner)
+    return hive
+
+
+def upload(hive: Hive, device: str, n: int, t0: float = 10.0) -> int:
+    records = [
+        SensorRecord(
+            device_id=device,
+            user=f"user-{device}",
+            task=TASK,
+            time=t0 + float(k),
+            values={"battery": 0.5},
+        )
+        for k in range(n)
+    ]
+    return hive.receive_upload(device, f"user-{device}", TASK, records)
+
+
+def assert_pipeline_identity(hive: Hive, at: float) -> None:
+    report = snapshot(hive, at)
+    assert report.pipeline_unaccounted == 0, report.to_text()
+    assert report.pipeline_accepted == (
+        report.store_records
+        + report.pipeline_dropped
+        + report.pipeline_buffered
+        + report.pipeline_backlog
+    )
+
+
+class TestPipelineIdentity:
+    @pytest.mark.parametrize("policy", ["spill", "reject", "drop-oldest"])
+    def test_holds_under_each_policy_mid_flight_and_after_drain(self, policy):
+        sim = Simulator()
+        hive = make_hive(sim, policy=policy, buffer_capacity=8)
+        # Overrun one shard's buffer so the policy actually fires.
+        for index in range(4):
+            upload(hive, "dev-a", 6, t0=10.0 + index)
+        assert_pipeline_identity(hive, sim.now)  # buffered / backlog nonzero
+        sim.run()
+        assert_pipeline_identity(hive, sim.now)
+        hive.pipeline.flush_all()
+        assert_pipeline_identity(hive, sim.now)
+        report = snapshot(hive, sim.now)
+        assert report.pipeline_buffered == 0
+        assert report.pipeline_backlog == 0
+        if policy == "reject":
+            assert report.pipeline_rejected > 0
+        elif policy == "drop-oldest":
+            assert report.pipeline_dropped > 0
+        else:
+            assert report.pipeline_spilled > 0
+            assert report.pipeline_shed == 0
+
+    def test_report_counters_come_from_the_registry(self):
+        sim = Simulator()
+        hive = make_hive(sim)
+        upload(hive, "dev-a", 5)
+        sim.run()
+        hive.pipeline.flush_all()
+        report = snapshot(hive, sim.now)
+        pobs = hive.pipeline.obs
+        assert report.pipeline_accepted == int(pobs.accepted.value)
+        assert report.pipeline_flushes == int(pobs.flushes.value)
+        assert report.store_records == int(hive.store.obs.records_appended.value)
+        # ... and the registry agrees with the components' own counters.
+        assert int(pobs.accepted.value) == hive.pipeline.stats.accepted
+        assert int(hive.store.obs.records_appended.value) == hive.store.n_records
+
+    def test_disabled_registry_falls_back_to_object_counters(self):
+        obs.configure(metrics=False)
+        sim = Simulator()
+        hive = make_hive(sim)
+        upload(hive, "dev-a", 5)
+        sim.run()
+        hive.pipeline.flush_all()
+        report = snapshot(hive, sim.now)
+        assert report.pipeline_accepted == 5
+        assert report.store_records == 5
+        assert_pipeline_identity(hive, sim.now)
+
+
+class TestServerTierRendering:
+    def test_absent_tier_is_labelled_not_zeroed(self):
+        sim = Simulator()
+        report = snapshot(make_hive(sim), 0.0)
+        assert not report.server_attached
+        text = report.to_text()
+        assert "server: tier not attached" in text
+        assert "subscriptions" not in text
+
+    def test_push_identity_fields_default_clean(self):
+        sim = Simulator()
+        report = snapshot(make_hive(sim), 0.0)
+        assert report.server_push_unaccounted == 0

@@ -324,11 +324,15 @@ class TestMonitoringIntegration:
 
         run(scenario())
 
-    def test_report_without_server_has_no_server_line(self, sim):
+    def test_report_without_server_says_tier_absent(self, sim):
+        # Absent is not idle: without a serving tier the report must say
+        # so, not render all-zero counters an operator would read as
+        # "healthy but quiet".
         hive = make_hive(sim)
         report = snapshot(hive, 0.0)
         assert not report.server_attached
-        assert "server:" not in report.to_text()
+        assert "server: tier not attached" in report.to_text()
+        assert "0 sessions" not in report.to_text()
 
 
 class TestTcpTransport:
