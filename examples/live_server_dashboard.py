@@ -7,16 +7,20 @@ campaign's Hive is wrapped in a :class:`repro.server.ReproServer`, a
 middleware chain (auth + metrics) guards every surface, and N dashboard
 clients connect over the in-process transport, subscribe to a windowed
 view, and receive every closing `WindowSnapshot` as a push — while a
-denied connection shows the chain short-circuiting.  At the end, each
-client's pushed stream is asserted identical to the engine's batch view,
-and the total pushed records equal the aggregate the query surface
-returns: the live dashboard and the batch query agree exactly.
+denied connection shows the chain short-circuiting.  One more client
+subscribes to the **obs watch** channel: a `MetricsScraper` samples the
+registry on a sim-clock cadence and the server pushes every scrape
+frame plus any SLO burn-rate transition to it, exactly once.  At the
+end, each client's pushed stream is asserted identical to the engine's
+batch view, and the total pushed records equal the aggregate the query
+surface returns: the live dashboard and the batch query agree exactly.
 
 Run:  python examples/live_server_dashboard.py
 """
 
 import asyncio
 
+from repro import obs
 from repro.apisense import Campaign, CampaignConfig, SensingTask
 from repro.apisense.monitoring import snapshot
 from repro.mobility import GeneratorConfig, MobilityGenerator
@@ -37,7 +41,10 @@ N_CLIENTS = 4
 N_DAYS = 2
 
 TOKENS = {"dash-token": "viewer", "ops-token": "operator"}
-SCOPES = {"viewer": {"query", "channel"}, "operator": {"ingest", "query", "channel"}}
+SCOPES = {
+    "viewer": {"query", "channel", "obs"},
+    "operator": {"ingest", "query", "channel", "obs"},
+}
 
 
 async def run_server(campaign: Campaign, server: ReproServer) -> list[list[dict]]:
@@ -48,6 +55,13 @@ async def run_server(campaign: Campaign, server: ReproServer) -> list[list[dict]
         await client.connect({"authorization": "dash-token"})
         await client.subscribe(VIEW, alerts=True)
         clients.append(client)
+
+    # One more dashboard watches the metrics themselves: every scrape
+    # frame (filtered to the pipeline/server families) and every SLO
+    # state transition arrives as a push, exactly once.
+    watcher = ServerClient(server.connect_in_process())
+    await watcher.connect({"authorization": "dash-token"})
+    await watcher.watch_obs(names=["repro_pipeline", "repro_server"])
 
     # The chain guards the door: a bad token never reaches a session.
     intruder = ServerClient(server.connect_in_process())
@@ -80,6 +94,20 @@ async def run_server(campaign: Campaign, server: ReproServer) -> list[list[dict]
             pushes.extend(fresh)
         streams.append(pushes)
 
+    # The obs watcher saw the metrics history live as it was scraped.
+    obs_pushes = watcher.drain_pushes()
+    frames = [p for p in obs_pushes if p["kind"] == "obs_frame"]
+    alerts = [p for p in obs_pushes if p["kind"] == "obs_alert"]
+    assert frames, "the scraper ran, so the watcher must have seen frames"
+    slo = await watcher.obs_slo()
+    states = {s["name"]: s["state"] for s in slo["slos"]}
+    print(
+        f"  obs watch: {len(frames)} scrape frames, {len(alerts)} SLO "
+        f"alerts pushed; SLO states: {states}"
+    )
+    assert all(state == "ok" for state in states.values())
+    await watcher.close()
+
     # The query surface answers the same numbers the pushes carried.
     aggregate = await clients[0].aggregate(TASK)
     for client in clients:
@@ -108,10 +136,33 @@ def main() -> None:
     hive = campaign.hive
     hive.streams.register_view(VIEW, WindowSpec.tumbling(6 * HOUR))
 
+    # Metrics over time: a scraper samples the registry every simulated
+    # hour for the whole campaign (plus the delivery tail), and one SLO
+    # holds request latency to a wall-clock budget the in-process
+    # transport comfortably meets — the obs watcher sees it stay "ok".
+    scraper = obs.MetricsScraper(cadence=HOUR, capacity=128)
+    scraper.start(
+        campaign.sim,
+        until=N_DAYS * DAY + 2.0 * campaign.config.delivery_latency + 1.0,
+    )
+    slos = obs.SLOTracker(
+        scraper.store,
+        [
+            obs.SLODefinition(
+                name="request-latency",
+                objective=0.9,
+                probe=obs.latency_sli("repro_server_request_seconds", 0.05),
+                rules=(obs.BurnRateRule(window=12 * HOUR, factor=1.0),),
+                description="90% of server requests finish within 50ms",
+            )
+        ],
+    )
     metrics = MetricsMiddleware()
     server = ReproServer(
         hive,
         middlewares=[AuthTokenMiddleware(TOKENS, SCOPES), metrics],
+        scraper=scraper,
+        slos=slos,
     )
 
     print(f"Serving {N_CLIENTS} dashboard clients while the campaign runs:")
@@ -139,7 +190,10 @@ def main() -> None:
         f"Middleware saw {metrics.counters.requests} requests, "
         f"{metrics.counters.denied} denied"
     )
-    print("\n" + snapshot(hive, campaign.sim.now, server=server).to_text())
+    print(
+        "\n"
+        + snapshot(hive, campaign.sim.now, server=server, slos=slos).to_text()
+    )
     assert server.pushes_dropped == 0
 
 

@@ -92,6 +92,16 @@ class PlatformHealthReport:
     #: True when this snapshot was taken with a serving tier attached
     #: (all-zero server counters are then meaningful, not absent).
     server_attached: bool = False
+    #: False when the hive's stream engine has no registered views —
+    #: the streaming tier is present but *not attached to any
+    #: analytics*, so zero-valued stream rows would mislead.
+    streams_attached: bool = True
+    #: SLO plane, populated when an :class:`~repro.obs.slo.SLOTracker`
+    #: is passed to :func:`snapshot`.
+    slo_attached: bool = False
+    slo_total: int = 0
+    slo_burning: int = 0
+    slo_lines: tuple[str, ...] = field(default_factory=tuple)
     tasks: tuple[TaskHealth, ...] = field(default_factory=tuple)
 
     @property
@@ -150,11 +160,28 @@ class PlatformHealthReport:
             f"{self.pipeline_rejected} rejected, {self.pipeline_spilled} spilled "
             f"({self.pipeline_shed} records shed, "
             f"{self.pipeline_unaccounted} unaccounted)",
-            f"  streams: {self.stream_views} live views, last window "
-            f"{self.stream_last_rate:.2f} rec/s, "
-            f"{self.stream_alerts_unacked} unacked alerts, "
-            f"{self.stream_alerts_dropped} alerts evicted",
+            (
+                f"  streams: {self.stream_views} live views, last window "
+                f"{self.stream_last_rate:.2f} rec/s, "
+                f"{self.stream_alerts_unacked} unacked alerts, "
+                f"{self.stream_alerts_dropped} alerts evicted"
+                if self.streams_attached
+                # An engine with no registered views is *not attached*
+                # to any analytics — zero rows would read as "attached
+                # but quiet" (the federation counterpart of the
+                # detached-server rendering below).
+                else "  streams: tier not attached (no registered views)"
+            ),
         ]
+        if self.slo_attached:
+            summary = (
+                f"{self.slo_burning}/{self.slo_total} burning"
+                if self.slo_burning
+                else f"all {self.slo_total} within budget"
+            )
+            lines.append(f"  slo: {summary}")
+            for line in self.slo_lines:
+                lines.append(f"    {line}")
         if self.server_attached:
             lines.append(
                 f"  server: {self.server_sessions} sessions, "
@@ -183,11 +210,14 @@ def snapshot(
     low_battery: float = 0.2,
     at_risk: float = 0.25,
     server=None,
+    slos=None,
 ) -> PlatformHealthReport:
     """Take a health snapshot of a Hive at simulation ``time``.
 
     ``server`` (a :class:`repro.server.server.ReproServer`, optional)
     adds the serving tier's session/push/denial counters to the report.
+    ``slos`` (an :class:`~repro.obs.slo.SLOTracker`, optional) adds the
+    SLO status line — which objectives are burning and how hard.
 
     Counter-valued fields are read from the shared
     :class:`~repro.obs.registry.MetricsRegistry` — the same instruments
@@ -258,6 +288,18 @@ def snapshot(
     else:
         pushes_enqueued = pushes_sent = pushes_dropped = 0
         pushes_queued = denials = 0
+    slo_lines: tuple[str, ...] = ()
+    slo_total = slo_burning = 0
+    if slos is not None:
+        statuses = slos.statuses()
+        slo_total = len(statuses)
+        slo_burning = sum(1 for status in statuses if status.burning)
+        slo_lines = tuple(
+            f"{status.name}: {status.state} "
+            f"(objective {status.objective:.3%}, "
+            f"worst burn {status.worst_burn():.1f}x)"
+            for status in statuses
+        )
     return PlatformHealthReport(
         time=time,
         devices=len(hive.devices),
@@ -294,5 +336,10 @@ def snapshot(
         server_pushes_queued=pushes_queued,
         server_denials=denials,
         server_attached=server is not None,
+        streams_attached=bool(hive.streams.views),
+        slo_attached=slos is not None,
+        slo_total=slo_total,
+        slo_burning=slo_burning,
+        slo_lines=slo_lines,
         tasks=tasks,
     )

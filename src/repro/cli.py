@@ -348,7 +348,7 @@ def cmd_store_compact(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 
 
-def _replay_csv_through_streams(args: argparse.Namespace, engine) -> None:
+def _replay_csv_through_streams(args: argparse.Namespace, engine, scraper=None) -> None:
     """Replay a mobility CSV through a pipeline with ``engine`` attached.
 
     Rows are replayed at their own timestamps (the arrival order a live
@@ -357,6 +357,10 @@ def _replay_csv_through_streams(args: argparse.Namespace, engine) -> None:
     traced admit gate (the Hive gateway pattern): when record tracing is
     on, sampled groups carry a trace id end to end; when it's off the
     gate is a no-op.
+
+    ``scraper`` (a :class:`repro.obs.MetricsScraper`, optional) is
+    started on the replay's simulator, bounded past the last record so
+    the periodic scrape event cannot keep the drained simulator alive.
     """
     import dataclasses
     import itertools
@@ -383,6 +387,9 @@ def _replay_csv_through_streams(args: argparse.Namespace, engine) -> None:
     sim = Simulator()
     engine.bind_clock(sim)  # lag views measure this replay's pipeline delay
     obs.configure(clock=lambda: sim.now)
+    if scraper is not None and records:
+        horizon = records[-1].time + max(args.window, args.lateness) + args.flush_delay
+        scraper.start(sim, until=horizon)
     store = DatasetStore(n_shards=args.shards)
     pipeline = IngestPipeline(sim, store, flush_delay=args.flush_delay)
     engine.attach(pipeline)
@@ -605,30 +612,55 @@ def _run_observed_replay(args: argparse.Namespace, tracing: bool) -> None:
     """Replay ``--input`` through the full record path with obs on."""
     from repro import obs
 
-    obs.configure(
-        metrics=True,
-        tracing=tracing,
-        sample_rate=args.sample_rate if tracing else 1.0,
-    )
+    # A CLI replay is self-contained: start from a fresh registry so a
+    # long-lived process (tests, REPLs) can't leak stale families in.
+    obs.reset(metrics=True, tracing=tracing)
+    if tracing:
+        obs.configure(sample_rate=args.sample_rate)
     engine = _build_stream_engine(args)
     _replay_csv_through_streams(args, engine)
 
 
 def cmd_obs_dump(args: argparse.Namespace) -> int:
-    """Replay a workload and dump the registry (Prometheus text format)."""
+    """Replay a workload and dump the registry (Prometheus text or JSON)."""
+    import json
+
     from repro import obs
 
     _run_observed_replay(args, tracing=False)
-    print(obs.render_prometheus(), end="")
+    if args.json:
+        rows = [sample.to_dict() for sample in obs.metrics_registry().exposition()]
+        print(json.dumps(rows, indent=2))
+    else:
+        print(obs.render_prometheus(), end="")
     return 0
 
 
 def cmd_obs_top(args: argparse.Namespace) -> int:
     """Replay a workload and print the hot-path table (hottest first)."""
+    import json
+
     from repro import obs
 
     _run_observed_replay(args, tracing=False)
     rows = obs.hot_paths()
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "stage": row.stage,
+                        "count": row.count,
+                        "total_seconds": row.total_seconds,
+                        "p50": row.p50,
+                        "p99": row.p99,
+                    }
+                    for row in rows[: args.limit]
+                ],
+                indent=2,
+            )
+        )
+        return 0
     for row in rows[: args.limit]:
         print(row.to_text())
     if len(rows) > args.limit:
@@ -667,6 +699,231 @@ def cmd_obs_trace(args: argparse.Namespace) -> int:
         for depth, span in trace_tree(log, trace_id):
             print("  " + "  " * depth + span.to_text())
     return 0
+
+
+def _replay_with_scraper(args: argparse.Namespace):
+    """Replay ``--input`` with a MetricsScraper sampling the registry."""
+    from repro import obs
+
+    obs.reset(metrics=True, tracing=False)
+    scraper = obs.MetricsScraper(cadence=args.cadence, capacity=args.retain)
+    engine = _build_stream_engine(args)
+    _replay_csv_through_streams(args, engine, scraper=scraper)
+    return scraper
+
+
+def _default_slos(args: argparse.Namespace):
+    """The CLI's stock SLO set over the replay workload's instruments."""
+    from repro import obs
+
+    rules = (
+        obs.BurnRateRule(window=args.slo_long_window, factor=2.0),
+        obs.BurnRateRule(window=args.slo_short_window, factor=6.0),
+    )
+    # The replay keeps scraping through its drain tail (one window of
+    # lateness with no new records), so a fixed staleness bound would
+    # flag every bounded replay as stale at the end; scale with it.
+    max_staleness = args.slo_max_staleness
+    if max_staleness is None:
+        max_staleness = (
+            2.0 * max(args.window, args.lateness) + args.flush_delay
+        )
+    return [
+        obs.SLODefinition(
+            name="ingest-availability",
+            objective=args.slo_objective,
+            probe=obs.availability_sli(
+                "repro_pipeline_records_accepted_total",
+                "repro_pipeline_records_submitted_total",
+            ),
+            rules=rules,
+            description="records admitted / records offered",
+        ),
+        obs.SLODefinition(
+            name="flush-latency",
+            objective=args.slo_objective,
+            probe=obs.latency_sli(
+                "repro_pipeline_flush_seconds", args.slo_flush_threshold
+            ),
+            rules=rules,
+            description="shard flushes under the latency threshold",
+        ),
+        obs.SLODefinition(
+            name="view-freshness",
+            objective=args.slo_objective,
+            probe=obs.freshness_sli(
+                "repro_stream_watermark_seconds", max_staleness
+            ),
+            rules=rules,
+            description="stream watermark within max staleness",
+        ),
+    ]
+
+
+def cmd_obs_history(args: argparse.Namespace) -> int:
+    """Replay a workload while scraping, then query the history."""
+    scraper = _replay_with_scraper(args)
+    store = scraper.store
+    stats = scraper.stats
+    print(
+        f"scraped {stats.scrapes} frames ({stats.samples} samples, "
+        f"{store.n_series} series, {store.frames_evicted} frames evicted)"
+    )
+    if not args.name:
+        from repro.obs.registry import _render_labels
+
+        for key in sorted(store.keys()):
+            series = store.series(key[0], dict(key[1]))
+            latest = series.latest()
+            tail = f" = {latest[1]:g} @ t={latest[0]:.0f}s" if latest else ""
+            print(f"  {key[0]}{_render_labels(key[1])}{tail}")
+        return 0
+    window = args.query_window
+    print(
+        f"{args.name}: delta {store.delta(args.name, window=window):g}, "
+        f"rate {store.rate(args.name, window=window):g}/s over "
+        + ("the full history" if window is None else f"the last {window:g}s")
+    )
+    for series in store.select(args.name):
+        points = list(zip(series.t, series.values))[-args.last :]
+        rendered = ", ".join(f"({t:.0f}s, {v:g})" for t, v in points)
+        print(f"  {series.series}: {rendered}")
+    return 0
+
+
+def cmd_obs_slo(args: argparse.Namespace) -> int:
+    """Replay a workload scraping + evaluating the stock SLO set."""
+    from repro import obs
+
+    obs.reset(metrics=True, tracing=False)
+    scraper = obs.MetricsScraper(cadence=args.cadence, capacity=args.retain)
+    tracker = obs.SLOTracker(scraper.store, _default_slos(args))
+    scraper.on_frame(lambda frame: tracker.evaluate(frame.t))
+    engine = _build_stream_engine(args)
+    _replay_csv_through_streams(args, engine, scraper=scraper)
+    print(
+        f"evaluated {len(tracker.definitions)} SLOs over "
+        f"{scraper.stats.scrapes} scrape frames:"
+    )
+    for status in tracker.statuses():
+        print(
+            f"  {status.name}: {status.state} "
+            f"(objective {status.objective:.3%}, "
+            f"worst burn {status.worst_burn():.1f}x, "
+            f"{status.transitions} transitions)"
+        )
+    for alert in tracker.alerts.alerts():
+        print("  ALERT " + alert.to_text())
+    return 0 if not tracker.burning else 1
+
+
+def cmd_obs_watch(args: argparse.Namespace) -> int:
+    """Watch scrape frames + SLO transitions live over the server channel.
+
+    Mirrors ``stream watch``: stands up an in-process server over the
+    replay, subscribes one client to the ``obs watch`` channel, and
+    prints every pushed frame/alert — a real serving-tier consumer.
+    """
+    import asyncio
+    import itertools
+
+    from repro import obs
+    from repro.apisense.device import SensorRecord
+    from repro.server import ReproServer, ServerClient
+    from repro.simulation import Simulator
+    from repro.store import DatasetStore, IngestPipeline
+
+    obs.reset(metrics=True, tracing=False)
+    scraper = obs.MetricsScraper(cadence=args.cadence, capacity=args.retain)
+    engine = _build_stream_engine(args)
+
+    dataset = MobilityDataset.from_csv(args.input)
+    records = sorted(
+        (
+            SensorRecord(
+                device_id=f"csv:{user}",
+                user=user,
+                task=args.task_name,
+                time=record.time,
+                values={"gps": record.point},
+            )
+            for user, record in dataset.all_records()
+        ),
+        key=lambda r: r.time,
+    )
+    sim = Simulator()
+    engine.bind_clock(sim)
+    obs.configure(clock=lambda: sim.now)
+    store = DatasetStore(n_shards=args.shards)
+    pipeline = IngestPipeline(sim, store, flush_delay=args.flush_delay)
+    engine.attach(pipeline)
+    server = ReproServer(
+        engine=engine, sim=sim, scraper=scraper, slos=_default_slos(args)
+    )
+    if records:
+        horizon = (
+            records[-1].time + max(args.window, args.lateness) + args.flush_delay
+        )
+        scraper.start(sim, until=horizon)
+
+    frames_shown = 0
+    alerts_shown = 0
+
+    def show(pushes) -> None:
+        nonlocal frames_shown, alerts_shown
+        for push in pushes:
+            if push["kind"] == "obs_frame":
+                frame = push["frame"]
+                frames_shown += 1
+                if args.limit is None or frames_shown <= args.limit:
+                    shown = sorted(frame["samples"].items())[: args.series_limit]
+                    print(
+                        f"frame @ t={frame['t']:.0f}s "
+                        f"({frame['n_series']} series):"
+                    )
+                    for name, value in shown:
+                        print(f"  {name} = {value:g}")
+            elif push["kind"] == "obs_alert":
+                alerts_shown += 1
+                alert = push["alert"]
+                print(
+                    f"SLO {alert['slo']} -> {alert['state']} "
+                    f"@ t={alert['time']:.0f}s: {alert['message']}"
+                )
+
+    async def run() -> None:
+        client = ServerClient(server.connect_in_process())
+        await client.connect()
+        await client.watch_obs(names=args.names or None)
+        for timestamp, group in itertools.groupby(records, key=lambda r: r.time):
+            if timestamp > sim.now:
+                await server.drive(timestamp, slice_seconds=args.window)
+            pipeline.submit(list(group))
+            await _pump_pushes(client, show)
+        sim.run()
+        pipeline.flush_all()
+        engine.finalize()
+        await server.drain()
+        await _pump_pushes(client, show)
+        await client.close()
+
+    asyncio.run(run())
+    print(
+        f"watched {frames_shown} scrape frames and {alerts_shown} SLO "
+        f"transitions over the server channel "
+        f"({scraper.stats.scrapes} scrapes, {scraper.store.n_series} series)"
+    )
+    return 0
+
+
+def cmd_obs_bench_diff(args: argparse.Namespace) -> int:
+    """Compare tracked BENCH_*.json between the working tree and a ref."""
+    from repro.obs.benchdiff import bench_diff, render_diff
+
+    diffs, missing = bench_diff(base=args.base, threshold=args.threshold)
+    print(render_diff(diffs, missing, base=args.base, threshold=args.threshold))
+    regressed = [d for d in diffs if d.regressed]
+    return 1 if regressed else 0
 
 
 # ----------------------------------------------------------------------
@@ -1306,6 +1563,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs_dump.add_argument(
         "--sample-rate", type=float, default=1.0, help=argparse.SUPPRESS
     )
+    obs_dump.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the exposition as JSON rows instead of Prometheus text",
+    )
     obs_dump.set_defaults(handler=cmd_obs_dump)
 
     obs_top = obs_commands.add_parser(
@@ -1317,6 +1579,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_top.add_argument(
         "--sample-rate", type=float, default=1.0, help=argparse.SUPPRESS
+    )
+    obs_top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the hot-path table as JSON rows",
     )
     obs_top.set_defaults(handler=cmd_obs_top)
 
@@ -1336,6 +1603,121 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=3, help="trace trees printed"
     )
     obs_trace.set_defaults(handler=cmd_obs_trace)
+
+    def add_scrape_common(subparser: argparse.ArgumentParser) -> None:
+        add_stream_common(subparser)
+        subparser.add_argument(
+            "--cadence",
+            type=float,
+            default=60.0,
+            help="scrape cadence in simulated seconds",
+        )
+        subparser.add_argument(
+            "--retain", type=int, default=512, help="scrape frames retained"
+        )
+
+    def add_slo_common(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--slo-objective",
+            type=float,
+            default=0.99,
+            help="good-ratio target for the stock SLO set",
+        )
+        subparser.add_argument(
+            "--slo-long-window", type=float, default=3600.0, help=argparse.SUPPRESS
+        )
+        subparser.add_argument(
+            "--slo-short-window", type=float, default=600.0, help=argparse.SUPPRESS
+        )
+        subparser.add_argument(
+            "--slo-flush-threshold",
+            type=float,
+            default=0.025,
+            help="flush-latency SLI threshold (wall seconds)",
+        )
+        subparser.add_argument(
+            "--slo-max-staleness",
+            type=float,
+            default=None,
+            help="freshness SLI: max watermark age (simulated seconds; "
+            "default: twice the replay's drain horizon)",
+        )
+
+    obs_history = obs_commands.add_parser(
+        "history",
+        help="replay a CSV while scraping the registry on a sim-clock "
+        "cadence, then query the metrics history",
+    )
+    add_scrape_common(obs_history)
+    obs_history.add_argument(
+        "--name", help="series family to query (omit to list everything)"
+    )
+    obs_history.add_argument(
+        "--query-window",
+        type=float,
+        help="lookback for delta/rate (simulated seconds; default: all)",
+    )
+    obs_history.add_argument(
+        "--last", type=int, default=5, help="trailing points printed per series"
+    )
+    obs_history.add_argument(
+        "--sample-rate", type=float, default=1.0, help=argparse.SUPPRESS
+    )
+    obs_history.set_defaults(handler=cmd_obs_history)
+
+    obs_slo = obs_commands.add_parser(
+        "slo",
+        help="replay a CSV evaluating the stock SLO set (availability, "
+        "flush latency, view freshness) with multi-window burn rates",
+    )
+    add_scrape_common(obs_slo)
+    add_slo_common(obs_slo)
+    obs_slo.add_argument(
+        "--sample-rate", type=float, default=1.0, help=argparse.SUPPRESS
+    )
+    obs_slo.set_defaults(handler=cmd_obs_slo)
+
+    obs_watch = obs_commands.add_parser(
+        "watch",
+        help="watch scrape frames + SLO transitions live over the "
+        "serving tier's obs watch channel",
+    )
+    add_scrape_common(obs_watch)
+    add_slo_common(obs_watch)
+    obs_watch.add_argument(
+        "--names",
+        nargs="*",
+        help="series-name prefixes pushed in each frame (default: all)",
+    )
+    obs_watch.add_argument(
+        "--limit", type=int, help="frames rendered in full (default: all)"
+    )
+    obs_watch.add_argument(
+        "--series-limit",
+        type=int,
+        default=8,
+        help="series lines printed per rendered frame",
+    )
+    obs_watch.add_argument(
+        "--sample-rate", type=float, default=1.0, help=argparse.SUPPRESS
+    )
+    obs_watch.set_defaults(handler=cmd_obs_watch)
+
+    obs_bench_diff = obs_commands.add_parser(
+        "bench-diff",
+        help="compare tracked BENCH_*.json (working tree vs a git ref) "
+        "and flag per-metric regressions",
+    )
+    obs_bench_diff.add_argument(
+        "--base", default="HEAD", help="git ref to compare against"
+    )
+    obs_bench_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="regression threshold in percent",
+    )
+    obs_bench_diff.set_defaults(handler=cmd_obs_bench_diff)
 
     serve = commands.add_parser(
         "serve",

@@ -41,6 +41,7 @@ from repro.federation.query import (
 )
 from repro.federation.ring import ConsistentHashRing, PlacementDiff
 from repro.federation.streams import FederatedStreamMerger, SecureWindowTotals
+from repro.federation.timeseries import ROUTER_MEMBER, FederationScraper
 from repro.federation.router import (
     ControlPlaneStats,
     FederatedSyndicationReceipt,
@@ -65,4 +66,6 @@ __all__ = [
     "FederationHealthReport",
     "MemberHealth",
     "federation_snapshot",
+    "FederationScraper",
+    "ROUTER_MEMBER",
 ]

@@ -71,11 +71,18 @@ class FederationHealthReport:
         for member in self.members:
             state = "up" if member.up else "DOWN"
             report = member.report
+            streams = (
+                f"{report.stream_views} views"
+                if report.streams_attached
+                # A member whose engine has no registered views renders
+                # as detached, not as a zero-valued streaming tier.
+                else "streams tier not attached"
+            )
             lines.append(
                 f"  hive {member.name} [{state}]: {member.devices} devices, "
                 f"{report.store_records} records, "
                 f"{report.pipeline_flushes} flushes, "
-                f"{report.pipeline_shed} shed, "
+                f"{report.pipeline_shed} shed, {streams}, "
                 f"motivation {report.mean_motivation:.2f}"
             )
         return "\n".join(lines)

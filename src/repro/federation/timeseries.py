@@ -1,0 +1,226 @@
+"""Federation-wide metrics history: per-hive scrapes, merged rollup.
+
+Each member hive gets its own :class:`~repro.obs.timeseries.MetricsScraper`
+selecting only that hive's ``instance`` labels, plus one **residual**
+scraper (member name ``"@router"``) for everything no member claims —
+the router's control plane, servers, secure-agg sessions.  All member
+scrapers fire inside one callback at each cadence tick, so their frames
+share one aligned timestamp, and the rollup folds that boundary
+immediately: every sample lands in a shared :class:`TimeSeriesStore`
+under its key *minus* the ``instance`` label, summed across members.
+
+The result is the "one dashboard sees the whole ring" store: a query
+like ``rollup.rate("repro_pipeline_records_accepted_total")`` is the
+federation-wide ingest rate, and by construction each rollup series
+equals the sum of the members' series at every aligned scrape time
+(the equality the federation e2e test pins).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import ObsError
+from repro.obs.timeseries import (
+    MetricsScraper,
+    ScrapeFrame,
+    TimeSeriesStore,
+    instance_select,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.router import FederationRouter
+    from repro.obs.registry import MetricsRegistry
+    from repro.simulation import CancelToken, Simulator
+
+__all__ = ["FederationScraper", "ROUTER_MEMBER"]
+
+#: The residual member: series owned by no hive (router, server...).
+ROUTER_MEMBER = "@router"
+
+
+class FederationScraper:
+    """Aligned per-hive scrapers feeding one instance-less rollup store.
+
+    One :meth:`tick` (or the periodic event :meth:`start` schedules)
+    drives every member scraper at the same simulated timestamp and
+    folds the new frames into :attr:`store` — the rollup — right away.
+    Per-member history stays available via :meth:`member_store` for
+    drill-down dashboards.
+    """
+
+    def __init__(
+        self,
+        router: "FederationRouter",
+        registry: "MetricsRegistry | None" = None,
+        cadence: float = 1.0,
+        capacity: int = 512,
+    ):
+        if registry is None:
+            from repro import obs as _obs
+
+            registry = _obs.metrics_registry()
+        self.router = router
+        self.registry = registry
+        self.cadence = cadence
+        #: The merged, instance-less federation-wide store.
+        self.store = TimeSeriesStore(capacity)
+        self._scrapers: dict[str, MetricsScraper] = {}
+        self._claimed: set[str] = set()
+        self._frame_callbacks: list[Callable[[str, ScrapeFrame], None]] = []
+        self._rollup_callbacks: list[Callable[[ScrapeFrame], None]] = []
+        self._last_t = float("-inf")
+        self.ticks = 0
+        # member store layout -> rollup column mapping caches
+        self._maps: dict[str, tuple[int, np.ndarray, np.ndarray]] = {}
+        self._sync_members(capacity)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def _sync_members(self, capacity: int) -> None:
+        """(Re)build member scrapers; call after hives join the ring."""
+        claimed: set[str] = set()
+        for name in self.router.member_names:
+            instances = self.router.hive(name).obs_instances()
+            claimed |= instances
+            if name not in self._scrapers:
+                self._scrapers[name] = MetricsScraper(
+                    registry=self.registry,
+                    cadence=self.cadence,
+                    select=instance_select(instances),
+                    capacity=capacity,
+                )
+        self._claimed = claimed
+        # The residual scraper keeps whatever no member claims, plus
+        # unlabelled series (sim time) — rebuilt whenever claims move.
+        residual = self._scrapers.get(ROUTER_MEMBER)
+        select = instance_select(claimed, invert=True)
+        if residual is None:
+            self._scrapers[ROUTER_MEMBER] = MetricsScraper(
+                registry=self.registry,
+                cadence=self.cadence,
+                select=select,
+                capacity=capacity,
+            )
+        else:
+            residual._select = select
+            residual._readers_version = -1  # force reader rebuild
+
+    def refresh_members(self) -> None:
+        """Pick up hives that joined after construction."""
+        self._sync_members(self.store.capacity)
+
+    @property
+    def members(self) -> list[str]:
+        return sorted(self._scrapers)
+
+    def member_store(self, name: str) -> TimeSeriesStore:
+        """One member's own (instance-labelled) history."""
+        if name not in self._scrapers:
+            raise ObsError(f"no scraper for federation member {name!r}")
+        return self._scrapers[name].store
+
+    def member_scraper(self, name: str) -> MetricsScraper:
+        if name not in self._scrapers:
+            raise ObsError(f"no scraper for federation member {name!r}")
+        return self._scrapers[name]
+
+    def on_frame(self, callback: Callable[[str, ScrapeFrame], None]) -> None:
+        """Subscribe to per-member frames (called as ``(member, frame)``)."""
+        self._frame_callbacks.append(callback)
+
+    def on_rollup(self, callback: Callable[[ScrapeFrame], None]) -> None:
+        """Subscribe to merged rollup frames (the server's watch feed)."""
+        self._rollup_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # The aligned scrape boundary
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float) -> "ScrapeFrame | None":
+        """Scrape every member at ``now`` and fold the rollup frame."""
+        if not self.registry.enabled or now <= self._last_t:
+            return None
+        frames: list[tuple[str, ScrapeFrame]] = []
+        for name, scraper in self._scrapers.items():
+            frame = scraper.scrape(now)
+            if frame is not None:
+                frames.append((name, frame))
+        if not frames:
+            return None
+        self._last_t = now
+        self.ticks += 1
+        slot = self.store.open_frame(now)
+        for name, frame in frames:
+            self._fold(name, frame, slot)
+            for callback in self._frame_callbacks:
+                callback(name, frame)
+        rollup = ScrapeFrame(self.ticks, now, self.store, slot)
+        for callback in self._rollup_callbacks:
+            callback(rollup)
+        return rollup
+
+    def _fold(self, name: str, frame: ScrapeFrame, slot: int) -> None:
+        """Sum one member frame's row into the rollup row at ``slot``."""
+        member = frame.store
+        cached = self._maps.get(name)
+        if cached is None or cached[0] != member.layout_version:
+            src_cols = []
+            dst_cols = []
+            for key in member.keys():
+                stripped = (
+                    key[0],
+                    tuple(kv for kv in key[1] if kv[0] != "instance"),
+                )
+                src_cols.append(member._cols[key])
+                dst_cols.append(self.store.column(stripped))
+            cached = (
+                member.layout_version,
+                np.asarray(src_cols, dtype=np.intp),
+                np.asarray(dst_cols, dtype=np.intp),
+            )
+            self._maps[name] = cached
+        _, src, dst = cached
+        row = member._values[frame._slot, src]
+        live = ~np.isnan(row)
+        if not live.all():
+            row = row[live]
+            dst = dst[live]
+        # np.add.at: several member series (e.g. two hives' pipelines)
+        # may fold into one instance-less rollup column.
+        target = self.store._values[slot]
+        seed = np.isnan(target[dst])
+        target[dst[seed]] = 0.0
+        np.add.at(target, dst, row)
+        self.store.samples_appended += int(np.count_nonzero(seed))
+
+    def start(
+        self,
+        sim: "Simulator",
+        until: "float | None" = None,
+        first_at: "float | None" = None,
+    ) -> "CancelToken":
+        """Schedule aligned federation scrapes on the simulator clock."""
+        return sim.schedule_periodic(
+            self.cadence, lambda: self.tick(sim.now), until=until, first_at=first_at
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        per_member = {
+            name: scraper.stats.scrapes for name, scraper in self._scrapers.items()
+        }
+        return {
+            "ticks": self.ticks,
+            "members": per_member,
+            "rollup_series": self.store.n_series,
+            "rollup_frames": self.store.n_frames,
+        }

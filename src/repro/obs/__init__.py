@@ -30,7 +30,26 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.obs import instruments, registry, tracing
-from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry, StageTiming
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry, Sample, StageTiming
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    BurnRateRule,
+    ObsAlert,
+    SLODefinition,
+    SLOStatus,
+    SLOTracker,
+    availability_sli,
+    freshness_sli,
+    latency_sli,
+)
+from repro.obs.timeseries import (
+    MetricsScraper,
+    ScrapeFrame,
+    Series,
+    TimeSeriesStore,
+    instance_select,
+    series_id,
+)
 from repro.obs.tracing import Span, TraceLog, Tracer, record_paths, trace_tree
 
 __all__ = [
@@ -38,6 +57,7 @@ __all__ = [
     "Tracer",
     "TraceLog",
     "Span",
+    "Sample",
     "StageTiming",
     "DEFAULT_BUCKETS",
     "record_paths",
@@ -52,6 +72,23 @@ __all__ = [
     "instruments",
     "registry",
     "tracing",
+    # metrics over time
+    "MetricsScraper",
+    "TimeSeriesStore",
+    "ScrapeFrame",
+    "Series",
+    "instance_select",
+    "series_id",
+    # SLOs
+    "SLODefinition",
+    "SLOStatus",
+    "SLOTracker",
+    "ObsAlert",
+    "BurnRateRule",
+    "DEFAULT_BURN_RULES",
+    "availability_sli",
+    "latency_sli",
+    "freshness_sli",
 ]
 
 _registry = MetricsRegistry(enabled=True)

@@ -1,0 +1,197 @@
+"""Bench trajectory tooling: diff tracked BENCH_*.json against a ref.
+
+The repo tracks one ``BENCH_<area>.json`` per benchmarked subsystem
+(ROADMAP item 3: the performance trajectory is part of the history).
+This module makes that trajectory readable: load every tracked bench
+file from the working tree **and** from a git ref (default the merge
+base with the default branch... whatever the caller passes), flatten
+the numeric leaves to dot-paths, and report per-metric deltas with a
+regression verdict.
+
+Direction is inferred from the metric name: times, latencies and drop
+counts regress when they grow; throughputs regress when they shrink;
+everything else is informational.  ``python -m repro obs bench-diff``
+renders the table and exits non-zero on regression beyond the
+threshold — CI runs it non-gating against the merge base.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["MetricDiff", "bench_diff", "render_diff"]
+
+#: Metric-name fragments that regress when the value *grows*.
+_HIGHER_WORSE = re.compile(
+    r"seconds|latency|overhead|_ms\b|p50|p90|p95|p99|dropped|lost|evicted|"
+    r"gaps|shed|wall|unaccounted",
+    re.IGNORECASE,
+)
+#: Fragments that regress when the value *shrinks*.
+_HIGHER_BETTER = re.compile(
+    r"per_s|per_sec|throughput|ops|rows_s|rate_hz|speedup", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One numeric leaf compared across the two trees."""
+
+    file: str
+    path: str
+    base: float
+    current: float
+    direction: str  # "higher_worse" | "higher_better" | "neutral"
+    threshold: float  # percent
+
+    @property
+    def pct_change(self) -> float:
+        if self.base == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.base) / abs(self.base) * 100.0
+
+    @property
+    def regressed(self) -> bool:
+        change = self.pct_change
+        if self.direction == "higher_worse":
+            return change > self.threshold
+        if self.direction == "higher_better":
+            return change < -self.threshold
+        return False
+
+
+def _flatten(node, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a JSON tree as ``a.b.c -> value``."""
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(_flatten(value, f"{prefix}.{key}" if prefix else str(key)))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            out.update(_flatten(value, f"{prefix}[{index}]"))
+    elif isinstance(node, bool):
+        pass  # bools are flags, not metrics
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    return out
+
+
+def _direction(path: str) -> str:
+    if _HIGHER_WORSE.search(path):
+        return "higher_worse"
+    if _HIGHER_BETTER.search(path):
+        return "higher_better"
+    return "neutral"
+
+
+def _git(repo_root: Path, *argv: str) -> str:
+    return subprocess.run(
+        ["git", *argv],
+        cwd=repo_root,
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+
+
+def tracked_bench_files(repo_root: "Path | None" = None) -> list[str]:
+    root = _repo_root(repo_root)
+    names = _git(root, "ls-files", "BENCH_*.json").split()
+    return sorted(names)
+
+
+def _repo_root(repo_root: "Path | None") -> Path:
+    if repo_root is not None:
+        return Path(repo_root)
+    top = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout.strip()
+    return Path(top)
+
+
+def bench_diff(
+    base: str = "HEAD",
+    threshold: float = 5.0,
+    repo_root: "Path | None" = None,
+) -> "tuple[list[MetricDiff], list[str]]":
+    """Diff every tracked bench file: working tree vs ``base`` ref.
+
+    Returns ``(diffs, missing)`` — ``missing`` lists files with no
+    counterpart at the base ref (new benchmarks, not regressions).
+    """
+    root = _repo_root(repo_root)
+    diffs: list[MetricDiff] = []
+    missing: list[str] = []
+    for name in tracked_bench_files(root):
+        current_path = root / name
+        if not current_path.exists():
+            continue
+        current = _flatten(json.loads(current_path.read_text()))
+        try:
+            base_text = _git(root, "show", f"{base}:{name}")
+        except subprocess.CalledProcessError:
+            missing.append(name)
+            continue
+        baseline = _flatten(json.loads(base_text))
+        for path in sorted(set(current) & set(baseline)):
+            diffs.append(
+                MetricDiff(
+                    file=name,
+                    path=path,
+                    base=baseline[path],
+                    current=current[path],
+                    direction=_direction(path),
+                    threshold=threshold,
+                )
+            )
+    return diffs, missing
+
+
+def render_diff(
+    diffs: "list[MetricDiff]",
+    missing: "list[str]",
+    base: str,
+    threshold: float,
+    show_unchanged: bool = False,
+) -> str:
+    """The bench-diff table: regressions first, then notable moves."""
+    lines = [f"bench diff vs {base} (threshold {threshold:g}%)"]
+    if not diffs and not missing:
+        lines.append("  no tracked BENCH_*.json files to compare")
+        return "\n".join(lines)
+    regressions = [d for d in diffs if d.regressed]
+    moved = [
+        d
+        for d in diffs
+        if not d.regressed and abs(d.pct_change) > max(threshold, 1e-9)
+    ]
+    for name in missing:
+        lines.append(f"  {name}: new (absent at {base})")
+    for bucket, label in ((regressions, "REGRESSED"), (moved, "moved")):
+        for diff in sorted(bucket, key=lambda d: -abs(d.pct_change)):
+            lines.append(
+                f"  [{label}] {diff.file}:{diff.path}: "
+                f"{diff.base:g} -> {diff.current:g} "
+                f"({diff.pct_change:+.1f}%, {diff.direction.replace('_', ' ')})"
+            )
+    unchanged = len(diffs) - len(regressions) - len(moved)
+    if show_unchanged:
+        for diff in diffs:
+            if not diff.regressed and abs(diff.pct_change) <= threshold:
+                lines.append(
+                    f"  [ok] {diff.file}:{diff.path}: "
+                    f"{diff.base:g} -> {diff.current:g} ({diff.pct_change:+.1f}%)"
+                )
+    else:
+        lines.append(
+            f"  {len(regressions)} regressed, {len(moved)} moved beyond "
+            f"{threshold:g}%, {unchanged} within noise"
+        )
+    return "\n".join(lines)

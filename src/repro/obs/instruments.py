@@ -153,6 +153,14 @@ class StreamInstruments:
             "Continuous-query alerts fired.",
             ("instance",),
         ).labels(**lbl)
+        #: Event-time watermark (callback-backed at wiring time): scrape
+        #: ``sim_time - watermark`` for a view-freshness SLI with zero
+        #: hot-path cost.
+        self.watermark = r.gauge(
+            "repro_stream_watermark_seconds",
+            "Event-time watermark of the stream engine.",
+            ("instance",),
+        ).labels(**lbl)
 
 
 class FederationInstruments:

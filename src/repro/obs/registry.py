@@ -228,10 +228,30 @@ class _Family:
                 assert self.buckets is not None
                 child = Histogram(self._registry, key, self.buckets)
             self._children[key] = child
+            self._registry.version += 1
         return child
 
     def children(self) -> Iterator[tuple[tuple[tuple[str, str], ...], _Child]]:
         yield from sorted(self._children.items())
+
+
+class Sample:
+    """One exposition row: a fully-expanded series name, labels, value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...], value: float):
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    @property
+    def series(self) -> str:
+        """The rendered series identity (``name{label="v",...}``)."""
+        return self.name + _render_labels(self.labels)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
 
 
 class StageTiming:
@@ -266,6 +286,10 @@ class MetricsRegistry:
         self.enabled = enabled
         self._clock = clock
         self._families: dict[str, _Family] = {}
+        #: Topology counter: bumped whenever a family or child appears,
+        #: so scrapers can cache their flat reader lists and only
+        #: rebuild when the set of live series actually changed.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -301,6 +325,7 @@ class MetricsRegistry:
             tuple(buckets) if buckets is not None else None,
         )
         self._families[name] = family
+        self.version += 1
         return family
 
     def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> _Family:
@@ -389,6 +414,45 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Exposition
     # ------------------------------------------------------------------
+
+    def exposition(self) -> list["Sample"]:
+        """Every live series as a structured :class:`Sample` row.
+
+        This is the machine-readable twin of :meth:`render_prometheus`
+        (``obs dump --json``, the scraper, the serving tier's ``obs``
+        surface all read it): counters and gauges emit one row per
+        child, and every histogram family expands to the
+        Prometheus-conventional series — cumulative ``<name>_bucket``
+        rows per ``le`` edge (``+Inf`` included) **plus** the
+        ``<name>_sum`` and ``<name>_count`` rows, so rate/quantile math
+        over scrapes never needs the raw bucket layout.
+        """
+        samples: list[Sample] = []
+        if self._clock is not None:
+            samples.append(Sample("repro_sim_time_seconds", (), float(self._clock())))
+        for name in self.families:
+            family = self._families[name]
+            for key, child in family.children():
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for edge, in_bucket in zip(child.buckets, child.bucket_counts):
+                        cumulative += in_bucket
+                        samples.append(
+                            Sample(
+                                f"{name}_bucket",
+                                key + (("le", _format(edge)),),
+                                float(cumulative),
+                            )
+                        )
+                    cumulative += child.bucket_counts[-1]
+                    samples.append(
+                        Sample(f"{name}_bucket", key + (("le", "+Inf"),), float(cumulative))
+                    )
+                    samples.append(Sample(f"{name}_sum", key, float(child.sum)))
+                    samples.append(Sample(f"{name}_count", key, float(child.count)))
+                else:
+                    samples.append(Sample(name, key, float(child.value)))
+        return samples
 
     def render_prometheus(self) -> str:
         """The whole registry in the Prometheus text exposition format."""

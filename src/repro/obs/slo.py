@@ -1,0 +1,373 @@
+"""SLOs over scraped history: pluggable SLIs, multi-window burn rates.
+
+A service-level objective here is three pluggable pieces, not a
+hard-coded threshold (the policy-object lesson from Dearle et al. in
+PAPERS.md):
+
+- an **SLI probe** — any ``(store, t0, t1) -> good_ratio | None``
+  callable reading the :class:`~repro.obs.timeseries.TimeSeriesStore`
+  (factories below cover the three canonical shapes: availability from
+  a good/total counter pair, latency from histogram bucket deltas,
+  freshness from a watermark gauge);
+- an **objective** — the target good-ratio (``0.999`` = "three nines");
+- **burn-rate rules** — the SRE multi-window pattern: burn =
+  ``(1 - good_ratio) / (1 - objective)``, and the SLO is *burning* only
+  when **every** window's burn exceeds its factor (the long window
+  proves sustained damage, the short window proves it is still
+  happening, so recovery resolves fast).
+
+:class:`SLOTracker` evaluates definitions against a store, appends an
+:class:`ObsAlert` into the platform's bounded
+:class:`~repro.streams.queries.AlertLog` machinery on every state
+transition, and hands transitions to subscribers — the server's
+``obs watch`` channel pushes them to live dashboards exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+from repro.errors import ObsError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.timeseries import TimeSeriesStore
+
+__all__ = [
+    "SLIProbe",
+    "BurnRateRule",
+    "DEFAULT_BURN_RULES",
+    "SLODefinition",
+    "SLOStatus",
+    "ObsAlert",
+    "SLOTracker",
+    "availability_sli",
+    "latency_sli",
+    "freshness_sli",
+]
+
+#: An SLI probe maps a (store, window) to the good-ratio in [0, 1], or
+#: None when the window holds no usable data (state stays unchanged).
+SLIProbe = Callable[["TimeSeriesStore", float, float], "float | None"]
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One window of the multi-window burn-rate pattern."""
+
+    window: float  # lookback, simulated seconds
+    factor: float  # burn threshold: burning needs burn >= factor
+
+    def __post_init__(self):
+        if self.window <= 0:
+            raise ObsError(f"burn window must be positive: {self.window}")
+        if self.factor <= 0:
+            raise ObsError(f"burn factor must be positive: {self.factor}")
+
+
+#: Sim-scale transcription of the SRE page/ticket pair: a long window
+#: at a low factor (sustained damage) AND a short one at a high factor
+#: (still happening right now).
+DEFAULT_BURN_RULES = (
+    BurnRateRule(window=300.0, factor=2.0),
+    BurnRateRule(window=60.0, factor=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLODefinition:
+    """One objective: a named SLI probe held to a target good-ratio."""
+
+    name: str
+    objective: float
+    probe: SLIProbe
+    rules: tuple = DEFAULT_BURN_RULES
+    description: str = ""
+
+    def __post_init__(self):
+        if not 0.0 < self.objective < 1.0:
+            raise ObsError(
+                f"objective must be in (0, 1): {self.name}={self.objective}"
+            )
+        if not self.rules:
+            raise ObsError(f"SLO {self.name!r} needs at least one burn rule")
+
+    def burn_rates(
+        self, store: "TimeSeriesStore", now: float
+    ) -> "list[float | None]":
+        """Per-rule burn rates at ``now`` (None where the probe had no data)."""
+        budget = 1.0 - self.objective
+        out: list[float | None] = []
+        for rule in self.rules:
+            ratio = self.probe(store, now - rule.window, now)
+            out.append(None if ratio is None else (1.0 - ratio) / budget)
+        return out
+
+
+@dataclass
+class SLOStatus:
+    """Current evaluation of one definition."""
+
+    name: str
+    objective: float
+    burning: bool = False
+    since: float = 0.0  # when the current state began
+    burn_rates: "tuple[float | None, ...]" = ()
+    transitions: int = 0
+
+    @property
+    def state(self) -> str:
+        return "burning" if self.burning else "ok"
+
+    def worst_burn(self) -> float:
+        known = [b for b in self.burn_rates if b is not None]
+        return max(known) if known else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "objective": self.objective,
+            "state": self.state,
+            "since": self.since,
+            "burn_rates": [
+                None if b is None else round(b, 4) for b in self.burn_rates
+            ],
+            "transitions": self.transitions,
+        }
+
+
+@dataclass(frozen=True)
+class ObsAlert:
+    """One SLO state transition (fits the AlertLog like a StreamAlert)."""
+
+    time: float
+    slo: str
+    state: str  # "burning" | "ok"
+    burn_rates: "tuple[float | None, ...]"
+    message: str
+    seq: int
+
+    def to_text(self) -> str:
+        return f"t={self.time:.0f}s [slo] {self.slo} -> {self.state}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "slo": self.slo,
+            "state": self.state,
+            "burn_rates": [
+                None if b is None else round(b, 4) for b in self.burn_rates
+            ],
+            "message": self.message,
+            "seq": self.seq,
+        }
+
+
+class SLOTracker:
+    """Evaluates SLO definitions against one store, alerting on flips.
+
+    Transitions land in a bounded :class:`AlertLog` (the same
+    drop-oldest machinery the stream tier's continuous queries use) and
+    fan out to :meth:`on_transition` subscribers.  Each alert carries a
+    monotonic ``seq`` so downstream push queues can dedupe exactly-once.
+    """
+
+    def __init__(
+        self,
+        store: "TimeSeriesStore",
+        slos: "Iterable[SLODefinition]" = (),
+        alert_capacity: int = 256,
+    ):
+        # Runtime import: streams imports repro.obs for its instruments,
+        # so obs.slo must not import streams at module load.
+        from repro.streams.queries import AlertLog
+
+        self.store = store
+        self._slos: dict[str, SLODefinition] = {}
+        self._statuses: dict[str, SLOStatus] = {}
+        self.alerts = AlertLog(capacity=alert_capacity)
+        self._callbacks: list[Callable[[ObsAlert], None]] = []
+        self._seq = 0
+        self.evaluations = 0
+        for slo in slos:
+            self.add(slo)
+
+    def add(self, slo: SLODefinition) -> None:
+        if slo.name in self._slos:
+            raise ObsError(f"duplicate SLO {slo.name!r}")
+        self._slos[slo.name] = slo
+        self._statuses[slo.name] = SLOStatus(name=slo.name, objective=slo.objective)
+
+    def on_transition(self, callback: Callable[[ObsAlert], None]) -> None:
+        self._callbacks.append(callback)
+
+    @property
+    def definitions(self) -> "list[SLODefinition]":
+        return list(self._slos.values())
+
+    def status(self, name: str) -> SLOStatus:
+        if name not in self._statuses:
+            raise ObsError(f"unknown SLO {name!r}")
+        return self._statuses[name]
+
+    def statuses(self) -> "list[SLOStatus]":
+        return [self._statuses[name] for name in sorted(self._statuses)]
+
+    @property
+    def burning(self) -> "list[SLOStatus]":
+        return [s for s in self.statuses() if s.burning]
+
+    def evaluate(self, now: float) -> "list[ObsAlert]":
+        """Re-evaluate every definition at ``now``; returns transitions.
+
+        A probe returning None for *any* rule window leaves that SLO's
+        state unchanged — no data is not evidence of recovery.
+        """
+        self.evaluations += 1
+        transitions: list[ObsAlert] = []
+        for name, slo in self._slos.items():
+            status = self._statuses[name]
+            burns = slo.burn_rates(self.store, now)
+            status.burn_rates = tuple(burns)
+            if any(b is None for b in burns):
+                continue
+            burning = all(
+                burn >= rule.factor for burn, rule in zip(burns, slo.rules)
+            )
+            if burning == status.burning:
+                continue
+            status.burning = burning
+            status.since = now
+            status.transitions += 1
+            self._seq += 1
+            worst = status.worst_burn()
+            alert = ObsAlert(
+                time=now,
+                slo=name,
+                state=status.state,
+                burn_rates=tuple(burns),
+                message=(
+                    f"burn {worst:.1f}x budget across all windows"
+                    if burning
+                    else f"burn back under factor (worst {worst:.1f}x)"
+                ),
+                seq=self._seq,
+            )
+            self.alerts.append(alert)
+            transitions.append(alert)
+            for callback in self._callbacks:
+                callback(alert)
+        return transitions
+
+    def to_dict(self) -> dict:
+        return {
+            "slos": [s.to_dict() for s in self.statuses()],
+            "alerts_total": self.alerts.total,
+            "alerts_dropped": self.alerts.dropped,
+            "evaluations": self.evaluations,
+        }
+
+
+# ----------------------------------------------------------------------
+# SLI probe factories — the three canonical shapes
+# ----------------------------------------------------------------------
+
+
+def availability_sli(
+    good: str,
+    total: str,
+    good_labels: "Mapping[str, str] | None" = None,
+    total_labels: "Mapping[str, str] | None" = None,
+) -> SLIProbe:
+    """good_ratio = Δgood / Δtotal from two counter families.
+
+    With no labels the deltas fold across every label set, so the SLI
+    is platform-wide (all instances, all label splits).
+    """
+
+    def probe(store: "TimeSeriesStore", t0: float, t1: float) -> "float | None":
+        try:
+            grew = store.delta(total, labels=total_labels, window=t1 - t0, at=t1)
+        except ObsError:
+            return None
+        if grew <= 0:
+            return None  # no traffic in the window: no evidence either way
+        try:
+            ok = store.delta(good, labels=good_labels, window=t1 - t0, at=t1)
+        except ObsError:
+            ok = 0.0
+        return min(1.0, max(0.0, ok / grew))
+
+    return probe
+
+
+def latency_sli(
+    family: str, threshold: float, **match: str
+) -> SLIProbe:
+    """good_ratio = fraction of observations <= ``threshold`` seconds.
+
+    Reads the scraped cumulative ``<family>_bucket`` / ``<family>_count``
+    deltas; pick a threshold on a bucket edge for an exact ratio
+    (between edges the conservative lower bucket counts as good).
+    """
+
+    def probe(store: "TimeSeriesStore", t0: float, t1: float) -> "float | None":
+        buckets = store.select(f"{family}_bucket", **match)
+        if not buckets:
+            return None
+        # Per label set (le stripped): the cumulative bucket at the
+        # largest edge <= threshold counts the fast observations.
+        fast_by_set: dict[tuple, tuple[float, float]] = {}  # -> (edge, grew)
+        total = 0.0
+        for series in buckets:
+            le = series.label("le")
+            edge = math.inf if le == "+Inf" else float(le)
+            clip = series.clipped(t0, t1)
+            if len(clip) < 2:
+                continue
+            grew = float(clip.values[-1] - clip.values[0])
+            if not math.isfinite(edge):
+                total += grew
+            elif edge <= threshold:
+                group = tuple(kv for kv in series.labels if kv[0] != "le")
+                best = fast_by_set.get(group)
+                if best is None or edge > best[0]:
+                    fast_by_set[group] = (edge, grew)
+        if total <= 0:
+            return None
+        fast = sum(grew for _, grew in fast_by_set.values())
+        return min(1.0, max(0.0, fast / total))
+
+    return probe
+
+
+def freshness_sli(
+    watermark: str, max_age: float, **match: str
+) -> SLIProbe:
+    """good_ratio = fraction of scrapes where the watermark kept up.
+
+    A sample is *good* when ``scrape_time - watermark <= max_age``.
+    Non-finite watermarks (an engine that has never seen a record
+    reports ``-inf``) are skipped — silence is not staleness.
+    """
+
+    def probe(store: "TimeSeriesStore", t0: float, t1: float) -> "float | None":
+        picked = store.select(watermark, **match)
+        if not picked:
+            return None
+        good = 0
+        seen = 0
+        for series in picked:
+            clip = series.clipped(t0, t1)
+            for t, value in zip(clip.t, clip.values):
+                if not math.isfinite(value):
+                    continue
+                seen += 1
+                if float(t) - float(value) <= max_age:
+                    good += 1
+        if not seen:
+            return None
+        return good / seen
+
+    return probe

@@ -224,6 +224,40 @@ class ServerClient:
             payload["tasks"] = list(tasks)
         return await self.channel("subscribe", payload)
 
+    async def watch_obs(
+        self, names: Sequence[str] | None = None, slo: bool = True
+    ) -> dict[str, Any]:
+        """Subscribe to the live metrics/SLO feed; returns ``{subscription}``.
+
+        ``names`` restricts pushed frames to series-name prefixes (all
+        series otherwise); ``slo=True`` also delivers SLO state
+        transitions as ``obs_alert`` pushes.
+        """
+        payload: dict[str, Any] = {"slo": slo}
+        if names is not None:
+            payload["names"] = list(names)
+        return await self.channel("watch", payload)
+
+    async def obs_history(
+        self,
+        name: str | None = None,
+        window: float | None = None,
+        labels: dict[str, str] | None = None,
+    ) -> dict[str, Any]:
+        """Scraped history: series listing, or one name's points + rate."""
+        payload: dict[str, Any] = {}
+        if name is not None:
+            payload["name"] = name
+        if window is not None:
+            payload["window"] = window
+        if labels is not None:
+            payload["labels"] = dict(labels)
+        return await self.request("obs", "history", payload)
+
+    async def obs_slo(self) -> dict[str, Any]:
+        """The server's SLO statuses and alert accounting."""
+        return await self.request("obs", "slo", {})
+
     async def unsubscribe(self, subscription: int) -> Any:
         return await self.channel("unsubscribe", {"subscription": subscription})
 

@@ -60,7 +60,7 @@ from repro.server.protocol import (
     secure_aggregate_digest,
     snapshot_digest,
 )
-from repro.server.sessions import Session, Subscription
+from repro.server.sessions import ObsWatch, Session, Subscription
 from repro.server.transport import (
     Endpoint,
     InProcessTransport,
@@ -74,6 +74,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.apisense.hive import Hive
     from repro.federation.router import FederationRouter
     from repro.federation.streams import FederatedStreamMerger
+    from repro.federation.timeseries import FederationScraper
+    from repro.obs.slo import ObsAlert, SLODefinition, SLOTracker
+    from repro.obs.timeseries import MetricsScraper, ScrapeFrame
     from repro.simulation import Simulator
 
 #: The request surfaces the middleware chain's ``request`` hook gates.
@@ -102,6 +105,9 @@ class ServerStats:
     alerts_pushed: int = 0
     alert_gaps: int = 0
     merged_windows: int = 0
+    watches_total: int = 0
+    obs_frames_pushed: int = 0
+    obs_alerts_pushed: int = 0
 
     @property
     def denials(self) -> int:
@@ -152,6 +158,8 @@ class ReproServer:
         sim: "Simulator | None" = None,
         middlewares: Sequence[ServerMiddleware] = (),
         queue_capacity: int = 256,
+        scraper: "MetricsScraper | FederationScraper | None" = None,
+        slos: "SLOTracker | Sequence[SLODefinition] | None" = None,
     ):
         anchors = sum(x is not None for x in (hive, router, engine))
         if anchors != 1:
@@ -193,6 +201,24 @@ class ReproServer:
         self._retired_pushes_dropped = 0
         for name, eng in self._engines.items():
             eng.on_window(lambda s, member=name: self._on_member_window(member, s))
+        #: Metrics-over-time feed: a scraper (single-hive MetricsScraper
+        #: or a federation rollup) whose frames drive the ``obs watch``
+        #: channel, plus an SLO tracker evaluated at every frame.
+        self._scraper = scraper
+        self._slo_tracker: "SLOTracker | None" = None
+        if slos is not None:
+            from repro.obs.slo import SLOTracker
+            if isinstance(slos, SLOTracker):
+                self._slo_tracker = slos
+            else:
+                if scraper is None:
+                    raise ServerError("slos= needs a scraper= to evaluate against")
+                self._slo_tracker = SLOTracker(scraper.store, slos)
+        if scraper is not None:
+            # A federation rollup exposes on_rollup (merged frames);
+            # a plain scraper exposes on_frame.
+            subscribe = getattr(scraper, "on_rollup", None) or scraper.on_frame
+            subscribe(self._on_scrape_frame)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -546,6 +572,52 @@ class ReproServer:
                     for depth, span in rows
                 ],
             }
+        if request.action == "history":
+            if self._scraper is None:
+                raise ServerError("this server has no metrics scraper")
+            store = self._scraper.store
+            name = payload.get("name")
+            if not name:
+                from repro.obs.registry import _render_labels
+
+                return {
+                    "series": sorted(
+                        key[0] + _render_labels(key[1]) for key in store.keys()
+                    ),
+                    "n_series": store.n_series,
+                    "frames": store.n_frames,
+                }
+            window = payload.get("window")
+            labels = payload.get("labels")
+            picked = (
+                [store.series(name, dict(labels))]
+                if labels
+                else store.select(name)
+            )
+            if not picked:
+                raise ServerError(f"unknown series {name!r}")
+            t1 = store.frame_times()[-1] if store.n_frames else 0.0
+            t0 = float("-inf") if window is None else t1 - float(window)
+            return {
+                "name": name,
+                "rate": store.rate(name, labels=dict(labels) if labels else None,
+                                   window=None if window is None else float(window)),
+                "series": [
+                    {
+                        "labels": dict(s.labels),
+                        "points": [
+                            [float(t), float(v)]
+                            for t, v in zip(clip.t, clip.values)
+                        ],
+                    }
+                    for s in picked
+                    for clip in [s.clipped(t0, t1)]
+                ],
+            }
+        if request.action == "slo":
+            if self._slo_tracker is None:
+                raise ServerError("this server tracks no SLOs")
+            return self._slo_tracker.to_dict()
         raise ServerError(f"unknown obs action {request.action!r}")
 
     # ------------------------------------------------------------------
@@ -612,6 +684,20 @@ class ReproServer:
                 "subscription": subscription.subscription_id,
                 "view": view,
                 "catchup": caught_up,
+            }
+        if message.action == "watch":
+            if self._scraper is None:
+                raise ServerError("this server has no metrics scraper to watch")
+            watch = session.watch_obs(
+                names=tuple(payload.get("names", ())),
+                slo=bool(payload.get("slo", True)),
+            )
+            self.stats.subscriptions_total += 1
+            self.stats.watches_total += 1
+            return {
+                "subscription": watch.subscription_id,
+                "names": list(watch.names),
+                "slo": watch.slo,
             }
         if message.action == "unsubscribe":
             subscription_id = payload.get("subscription")
@@ -778,6 +864,66 @@ class ReproServer:
                     ):
                         self.stats.alerts_pushed += 1
                 subscription.alerts_seen[member] = total
+
+    # ------------------------------------------------------------------
+    # Metrics watch fan-out (scrape-frame path; synchronous, sim events)
+    # ------------------------------------------------------------------
+
+    def _on_scrape_frame(self, frame: "ScrapeFrame") -> None:
+        """Scraper frame callback: push to watchers, evaluate SLOs.
+
+        Mirrors the window fan-out's exactly-once discipline: one frame
+        push per (watch, scrape time), one alert push per (watch,
+        tracker sequence) — dedup lives in :class:`ObsWatch`, the same
+        place :class:`Subscription` keeps its window guard.
+        """
+        transitions: "list[ObsAlert]" = []
+        if self._slo_tracker is not None:
+            transitions = self._slo_tracker.evaluate(frame.t)
+        if not self._sessions:
+            return
+        digest = None  # built lazily, once, only if a watcher wants it
+        for session in self._sessions.values():
+            for watch in list(session.subscriptions.values()):
+                if not isinstance(watch, ObsWatch):
+                    continue
+                if watch.should_push_frame(frame.t):
+                    if watch.names:
+                        frame_digest = frame.digest(watch.names)
+                    else:
+                        if digest is None:
+                            digest = frame.digest(())
+                        frame_digest = digest
+                    if session.push(
+                        {
+                            "type": "push",
+                            "kind": "obs_frame",
+                            "subscription": watch.subscription_id,
+                            "sent_at": time.perf_counter(),
+                            "frame": frame_digest,
+                        },
+                        watch,
+                    ):
+                        watch.frames_pushed += 1
+                        self.stats.pushes_enqueued += 1
+                        self.stats.obs_frames_pushed += 1
+                if not watch.slo:
+                    continue
+                for alert in transitions:
+                    if not watch.should_push_alert(alert.seq):
+                        continue
+                    if session.push(
+                        {
+                            "type": "push",
+                            "kind": "obs_alert",
+                            "subscription": watch.subscription_id,
+                            "sent_at": time.perf_counter(),
+                            "alert": alert.to_dict(),
+                        },
+                        watch,
+                    ):
+                        watch.alerts_pushed += 1
+                        self.stats.obs_alerts_pushed += 1
 
     # ------------------------------------------------------------------
     # Driving a simulated deployment

@@ -62,6 +62,47 @@ class Subscription:
         return True
 
 
+@dataclass
+class ObsWatch:
+    """One session's standing subscription to the metrics feed.
+
+    Lives in the same ``session.subscriptions`` map as the streaming
+    :class:`Subscription`\\ s (one unsubscribe path, one eviction
+    accounting), but matches no streaming view — the server's scrape
+    fan-out drives it instead.  The exactly-once guards mirror the
+    window dedup: a frame is pushed once per scrape time, an SLO alert
+    once per tracker sequence number.
+    """
+
+    subscription_id: int
+    #: Series-name prefixes to include in pushed frames ("" = all).
+    names: tuple[str, ...]
+    slo: bool  #: push SLO state transitions too
+    #: Exactly-once guards.
+    last_frame_t: float = float("-inf")
+    last_alert_seq: int = 0
+    frames_pushed: int = 0
+    alerts_pushed: int = 0
+    pushes_dropped: int = 0
+    alerts = False  #: never matched by the stream alert fan-out
+
+    def matches(self, task: str, view: str) -> bool:
+        """Never matched by the window fan-out (duck-typing guard)."""
+        return False
+
+    def should_push_frame(self, t: float) -> bool:
+        if t <= self.last_frame_t:
+            return False
+        self.last_frame_t = t
+        return True
+
+    def should_push_alert(self, seq: int) -> bool:
+        if seq <= self.last_alert_seq:
+            return False
+        self.last_alert_seq = seq
+        return True
+
+
 class PushQueue:
     """Bounded FIFO between window closes and a session's sender task.
 
@@ -156,6 +197,18 @@ class Session:
         )
         self.subscriptions[subscription.subscription_id] = subscription
         return subscription
+
+    def watch_obs(
+        self, names: tuple[str, ...] = (), slo: bool = True
+    ) -> ObsWatch:
+        """Subscribe this session to the live metrics/SLO feed."""
+        watch = ObsWatch(
+            subscription_id=next(_subscription_ids),
+            names=tuple(names),
+            slo=slo,
+        )
+        self.subscriptions[watch.subscription_id] = watch
+        return watch
 
     def unsubscribe(self, subscription_id: int) -> Subscription:
         if subscription_id not in self.subscriptions:

@@ -103,6 +103,9 @@ class StreamEngine:
         self.stats = StreamStats()
         self._last_window_rate = 0.0
         self.obs = StreamInstruments(obs.metrics_registry(), obs.next_instance("stream"))
+        # Callback-backed: the scraper reads the live watermark without
+        # the engine ever touching the gauge on its hot path.
+        self.obs.watermark.set_function(lambda: self.watermark)
         self._tracer = obs.tracer()
         #: Trace lineage parked per (task, pane): ``{trace_id: [times]}``
         #: of the traced records folded into each open pane, attached to

@@ -58,3 +58,21 @@ class TestFederationSnapshot:
         # says so explicitly (operators see drops when they happen).
         assert report.total_shed == 0
         assert "shed by backpressure" in report.to_text()
+
+    def test_members_without_views_render_detached_streams(self, deployed, sim):
+        """A hive with no registered views is detached, not zero-valued."""
+        router, devices, owner, task = deployed
+        # Attach a view on exactly one member (before streaming begins).
+        from repro.streams import WindowSpec
+
+        router.hive("hive-1").streams.register_view(
+            "m5", WindowSpec.tumbling(300.0)
+        )
+        sim.run_until(2 * HOUR)
+        report = federation_snapshot(router, sim.now)
+        text = report.to_text()
+        # The other fixture hives never registered a windowed view, so
+        # their member lines say so instead of claiming "0 views".
+        assert text.count("streams tier not attached") == report.n_members - 1
+        assert "0 views" not in text
+        assert "1 views" in text

@@ -1,0 +1,191 @@
+"""SLO burn-rate evaluation: pluggable SLIs, multi-window rules, alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs import (
+    BurnRateRule,
+    MetricsScraper,
+    SLODefinition,
+    SLOTracker,
+    TimeSeriesStore,
+    availability_sli,
+    freshness_sli,
+    latency_sli,
+    series_id,
+)
+
+
+def counters(store, points):
+    """Write aligned good/total counter frames: (t, good, total)."""
+    for t, good, total in points:
+        store.append(
+            t, {series_id("good_total"): good, series_id("all_total"): total}
+        )
+
+
+def make_slo(rules=None, objective=0.9):
+    return SLODefinition(
+        name="avail",
+        objective=objective,
+        probe=availability_sli("good_total", "all_total"),
+        rules=rules or (BurnRateRule(window=10.0, factor=1.0),),
+    )
+
+
+class TestDefinitions:
+    def test_objective_must_be_a_ratio(self):
+        with pytest.raises(ObsError, match="objective"):
+            make_slo(objective=1.0)
+        with pytest.raises(ObsError, match="objective"):
+            make_slo(objective=0.0)
+
+    def test_rules_required(self):
+        with pytest.raises(ObsError, match="burn rule"):
+            SLODefinition(
+                name="avail",
+                objective=0.9,
+                probe=availability_sli("good_total", "all_total"),
+                rules=(),
+            )
+
+    def test_burn_rate_math(self):
+        """burn = (1 - good_ratio) / (1 - objective)."""
+        store = TimeSeriesStore(capacity=16)
+        counters(store, [(1.0, 0, 0), (10.0, 80, 100)])
+        slo = make_slo(objective=0.9)  # 10% error budget
+        burns = slo.burn_rates(store, 10.0)
+        # 20% bad on a 10% budget: burning 2x.
+        assert burns == [pytest.approx(2.0)]
+
+
+class TestTracker:
+    def test_flips_to_burning_and_back(self):
+        store = TimeSeriesStore(capacity=64)
+        tracker = SLOTracker(store, [make_slo()])
+        # Healthy traffic.
+        counters(store, [(1.0, 0, 0), (5.0, 100, 100)])
+        assert tracker.evaluate(5.0) == []
+        assert not tracker.status("avail").burning
+        # Degradation: half the new traffic fails.
+        counters(store, [(10.0, 150, 200)])
+        transitions = tracker.evaluate(10.0)
+        assert [a.state for a in transitions] == ["burning"]
+        assert tracker.status("avail").burning
+        # Recovery: clean traffic pushes the window's ratio back up
+        # (two frames, so the window holds a measurable delta).
+        counters(store, [(16.0, 650, 700), (25.0, 1150, 1200)])
+        transitions = tracker.evaluate(25.0)
+        assert [a.state for a in transitions] == ["ok"]
+        assert not tracker.status("avail").burning
+        assert tracker.status("avail").transitions == 2
+
+    def test_transition_alerts_are_sequenced_and_logged(self):
+        store = TimeSeriesStore(capacity=64)
+        tracker = SLOTracker(store, [make_slo()])
+        seen = []
+        tracker.on_transition(seen.append)
+        counters(
+            store,
+            [(1.0, 0, 0), (5.0, 50, 100), (12.0, 550, 600), (20.0, 1050, 1100)],
+        )
+        tracker.evaluate(5.0)
+        tracker.evaluate(20.0)
+        assert [a.seq for a in seen] == [1, 2]
+        assert tracker.alerts.total == 2
+        assert [a.state for a in tracker.alerts.alerts()] == ["burning", "ok"]
+
+    def test_no_data_keeps_state(self):
+        """A window with no traffic is not evidence of recovery."""
+        store = TimeSeriesStore(capacity=64)
+        tracker = SLOTracker(store, [make_slo()])
+        counters(store, [(1.0, 0, 0), (5.0, 0, 100)])
+        tracker.evaluate(5.0)
+        assert tracker.status("avail").burning
+        # Far in the future the 10s window holds no samples at all:
+        # the probe returns None and the state must not flip.
+        tracker.evaluate(500.0)
+        assert tracker.status("avail").burning
+
+    def test_multi_window_needs_every_rule_burning(self):
+        rules = (
+            BurnRateRule(window=100.0, factor=1.0),
+            BurnRateRule(window=10.0, factor=1.0),
+        )
+        store = TimeSeriesStore(capacity=64)
+        tracker = SLOTracker(store, [make_slo(rules=rules)])
+        # Old damage inside the long window only: the short window is
+        # clean, so the SLO is recovering, not burning.
+        counters(
+            store,
+            [(1.0, 0, 0), (50.0, 50, 100), (95.0, 150, 200), (100.0, 250, 300)],
+        )
+        tracker.evaluate(100.0)
+        status = tracker.status("avail")
+        assert not status.burning
+        long_burn, short_burn = status.burn_rates
+        assert long_burn >= 1.0
+        assert short_burn < 1.0
+
+    def test_duplicate_definition_rejected(self):
+        store = TimeSeriesStore(capacity=8)
+        tracker = SLOTracker(store, [make_slo()])
+        with pytest.raises(ObsError, match="duplicate"):
+            tracker.add(make_slo())
+
+
+class TestSLIProbes:
+    def test_latency_sli_from_scraped_buckets(self):
+        registry = obs.metrics_registry()
+        hist = registry.histogram("repro_lat_seconds", "x", ("instance",)).labels(
+            instance="a"
+        )
+        scraper = MetricsScraper(registry=registry, capacity=16)
+        scraper.scrape(0.5)
+        for _ in range(90):
+            hist.observe(0.0002)
+        for _ in range(10):
+            hist.observe(0.08)
+        scraper.scrape(10.0)
+        probe = latency_sli("repro_lat_seconds", threshold=0.001)
+        # 90 of 100 under the threshold.
+        assert probe(scraper.store, 0.0, 10.0) == pytest.approx(0.9)
+
+    def test_latency_sli_sums_across_instances(self):
+        registry = obs.metrics_registry()
+        fam = registry.histogram("repro_lat_seconds", "x", ("instance",))
+        scraper = MetricsScraper(registry=registry, capacity=16)
+        fam.labels(instance="a")  # both children exist before baseline
+        fam.labels(instance="b")
+        scraper.scrape(0.5)
+        for _ in range(50):
+            fam.labels(instance="a").observe(0.0002)
+        for _ in range(50):
+            fam.labels(instance="b").observe(0.08)
+        scraper.scrape(10.0)
+        probe = latency_sli("repro_lat_seconds", threshold=0.001)
+        assert probe(scraper.store, 0.0, 10.0) == pytest.approx(0.5)
+
+    def test_freshness_sli_measures_watermark_age(self):
+        store = TimeSeriesStore(capacity=16)
+        # Watermark tracks the clock (fresh), then stalls (stale).
+        for t, wm in [(10.0, 8.0), (20.0, 18.0), (30.0, 18.0), (40.0, 18.0)]:
+            store.record("wm_seconds", t, wm)
+        probe = freshness_sli("wm_seconds", max_age=5.0)
+        assert probe(store, 0.0, 40.0) == pytest.approx(0.5)
+
+    def test_freshness_sli_skips_nonfinite_watermarks(self):
+        """An engine that never saw a record reports -inf: not stale."""
+        store = TimeSeriesStore(capacity=16)
+        store.record("wm_seconds", 10.0, float("-inf"))
+        probe = freshness_sli("wm_seconds", max_age=5.0)
+        assert probe(store, 0.0, 20.0) is None
+
+    def test_availability_sli_no_traffic_is_none(self):
+        store = TimeSeriesStore(capacity=16)
+        counters(store, [(1.0, 5, 10), (2.0, 5, 10)])
+        probe = availability_sli("good_total", "all_total")
+        assert probe(store, 0.0, 2.0) is None  # no *new* traffic

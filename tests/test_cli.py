@@ -489,3 +489,106 @@ class TestPrivacyCommands:
         output = capsys.readouterr().out
         assert "secure aggregate of ingested" in output
         assert "-> match" in output
+
+
+class TestObsTimeseriesCommands:
+    def test_history_lists_scraped_series(self, raw_csv, capsys):
+        code = main(
+            [
+                "obs", "history",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--cadence", "3600",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scraped" in output
+        assert "repro_pipeline_records_accepted_total" in output
+
+    def test_history_queries_one_family(self, raw_csv, capsys):
+        code = main(
+            [
+                "obs", "history",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--cadence", "3600",
+                "--name", "repro_pipeline_records_accepted_total",
+                "--query-window", "43200",
+                "--last", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "delta" in output
+        assert "rate" in output
+        assert "the last 43200s" in output
+
+    def test_slo_evaluates_the_stock_set(self, raw_csv, capsys):
+        code = main(
+            [
+                "obs", "slo",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--cadence", "3600",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "evaluated 3 SLOs" in output
+        assert "ingest-availability" in output
+        assert "flush-latency" in output
+        assert "view-freshness" in output
+        # A healthy replay must end with every SLO ok (exit 0).
+        assert code == 0
+
+    def test_watch_pushes_frames_over_the_server(self, raw_csv, capsys):
+        code = main(
+            [
+                "obs", "watch",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--cadence", "21600",
+                "--limit", "2",
+                "--names", "repro_pipeline",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "frame @ t=" in output
+        assert "watched" in output
+        assert "over the server channel" in output
+
+    def test_dump_and_top_emit_json(self, raw_csv, capsys):
+        import json
+
+        code = main(
+            [
+                "obs", "dump",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--json",
+            ]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(
+            row["name"] == "repro_pipeline_records_accepted_total"
+            for row in rows
+        )
+        code = main(
+            [
+                "obs", "top",
+                "--input", str(raw_csv),
+                "--window", "21600",
+                "--json",
+            ]
+        )
+        assert code == 0
+        stages = json.loads(capsys.readouterr().out)
+        assert stages and {"stage", "count", "p50", "p99"} <= set(stages[0])
+
+    def test_bench_diff_renders_the_table(self, capsys):
+        code = main(["obs", "bench-diff", "--base", "HEAD"])
+        assert code in (0, 1)  # suite order may have refreshed BENCH files
+        output = capsys.readouterr().out
+        assert "bench diff vs HEAD" in output
